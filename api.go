@@ -1,0 +1,288 @@
+// Package repro is a from-scratch Go reproduction of "Reactive and Proactive
+// Sharing Across Concurrent Analytical Queries" (Psaroudakis et al., SIGMOD
+// 2014): the QPipe staged execution engine with Simultaneous Pipelining
+// (reactive sharing, push-based over FIFOs or pull-based over Shared Pages
+// Lists), the CJOIN operator evaluating a Global Query Plan with shared
+// scans / selections / hash-joins (proactive sharing), their integration
+// (SP applied on top of the GQP), and the storage and workload substrates
+// required to regenerate the paper's four demonstration scenarios.
+//
+// This package is the facade: it re-exports the building blocks and offers
+// System, a convenience wrapper that assembles a database instance
+// (simulated disk, buffer pool, generated SSB or TPC-H data, a running CJOIN
+// pipeline) and hands out execution engines. The heavy lifting lives in the
+// internal packages:
+//
+//	internal/storage   pages, disks, buffer pool, circular shared scans
+//	internal/engine    QPipe stages, packets, operators, the SP registry
+//	internal/spl       the Shared Pages List
+//	internal/cjoin     the CJOIN global query plan
+//	internal/plan      operator trees and star-query descriptors
+//	internal/expr      predicates and scalar expressions
+//	internal/ssb       Star Schema Benchmark generator and templates
+//	internal/tpch      TPC-H lineitem generator and Q1
+//	internal/workload  Scenario I-IV runners
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/cjoin"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/ssb"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// Re-exported building blocks. The aliases make the internal packages'
+// types usable through the public facade.
+type (
+	// Engine is the QPipe execution engine.
+	Engine = engine.Engine
+	// EngineConfig tunes an engine (SP on/off per stage, push vs pull, ...).
+	EngineConfig = engine.Config
+	// Result is a materialized query result.
+	Result = engine.Result
+	// SPModel selects push-based (FIFO) or pull-based (SPL) sharing.
+	SPModel = engine.SPModel
+	// StageStats snapshots one stage's counters (SP attaches, misses, ...).
+	StageStats = engine.StageStats
+	// EngineStats snapshots all stages.
+	EngineStats = engine.EngineStats
+
+	// Catalog is a database instance: disk, buffer pool and tables.
+	Catalog = storage.Catalog
+	// Table couples a heap file with its shared-scan coordinator.
+	Table = storage.Table
+	// DiskProfile models a simulated disk's latency and bandwidth.
+	DiskProfile = storage.DiskProfile
+
+	// Node is a query plan operator.
+	Node = plan.Node
+	// PlanKind identifies an operator (and its QPipe stage).
+	PlanKind = plan.Kind
+	// StarQuery describes a star join for CJOIN admission or query-centric
+	// expansion.
+	StarQuery = plan.StarQuery
+	// DimJoin is one dimension of a star query.
+	DimJoin = plan.DimJoin
+
+	// CJoinOperator is a running CJOIN pipeline (Global Query Plan).
+	CJoinOperator = cjoin.Operator
+	// CJoinDimSpec fixes one dimension of the GQP chain.
+	CJoinDimSpec = cjoin.DimSpec
+	// CJoinStats snapshots the GQP's counters.
+	CJoinStats = cjoin.Stats
+
+	// SSBDatabase is a generated Star Schema Benchmark database.
+	SSBDatabase = ssb.DB
+	// SSBTemplate identifies one of the 13 SSB query templates.
+	SSBTemplate = ssb.Template
+	// SSBInstance is one instantiated SSB query (star + upper fragment).
+	SSBInstance = ssb.Instance
+)
+
+// Sharing models.
+const (
+	// SPPush is the original push-based SP (producer copies pages into every
+	// satellite FIFO).
+	SPPush = engine.SPPush
+	// SPPull is pull-based SP over the Shared Pages List.
+	SPPull = engine.SPPull
+)
+
+// Stage kinds, used as EngineConfig.SPStages keys.
+const (
+	KindScan      = plan.KindScan
+	KindFilter    = plan.KindFilter
+	KindProject   = plan.KindProject
+	KindHashJoin  = plan.KindHashJoin
+	KindAggregate = plan.KindAggregate
+	KindSort      = plan.KindSort
+	KindCJoin     = plan.KindCJoin
+)
+
+// Workload generation and plan building helpers.
+var (
+	// GenerateSSB loads a Star Schema Benchmark database into a catalog.
+	GenerateSSB = ssb.Generate
+	// InstantiateSSB draws one randomized instance of an SSB template.
+	InstantiateSSB = ssb.Instantiate
+	// SSBPool pre-generates n distinct instances of a template.
+	SSBPool = ssb.Pool
+	// GenerateTPCH loads the TPC-H lineitem table into a catalog.
+	GenerateTPCH = tpch.Generate
+	// Q1Plan builds the TPC-H Q1 plan (Scenario I's query).
+	Q1Plan = tpch.Q1Plan
+)
+
+// The SSB templates.
+const (
+	Q1_1 = ssb.Q1_1
+	Q1_2 = ssb.Q1_2
+	Q1_3 = ssb.Q1_3
+	Q2_1 = ssb.Q2_1
+	Q2_2 = ssb.Q2_2
+	Q2_3 = ssb.Q2_3
+	Q3_1 = ssb.Q3_1
+	Q3_2 = ssb.Q3_2
+	Q3_3 = ssb.Q3_3
+	Q3_4 = ssb.Q3_4
+	Q4_1 = ssb.Q4_1
+	Q4_2 = ssb.Q4_2
+	Q4_3 = ssb.Q4_3
+)
+
+// Scenario runners and their configurations (the paper's §4 experiments).
+type (
+	// Residency selects memory- vs disk-resident databases.
+	Residency = workload.Residency
+	// ScenarioIConfig parameterizes Scenario I (push vs pull SP).
+	ScenarioIConfig = workload.ScenarioIConfig
+	// ScenarioIResult holds Scenario I series.
+	ScenarioIResult = workload.ScenarioIResult
+	// ScenarioIIConfig parameterizes Scenario II (impact of concurrency).
+	ScenarioIIConfig = workload.ScenarioIIConfig
+	// ScenarioIIResult holds Scenario II series.
+	ScenarioIIResult = workload.ScenarioIIResult
+	// ScenarioIIIConfig parameterizes Scenario III (impact of selectivity).
+	ScenarioIIIConfig = workload.ScenarioIIIConfig
+	// ScenarioIIIResult holds Scenario III series.
+	ScenarioIIIResult = workload.ScenarioIIIResult
+	// ScenarioIVConfig parameterizes Scenario IV (impact of similarity).
+	ScenarioIVConfig = workload.ScenarioIVConfig
+	// ScenarioIVResult holds Scenario IV series.
+	ScenarioIVResult = workload.ScenarioIVResult
+)
+
+// Scenario entry points.
+var (
+	// RunScenarioI reproduces §4.3 (Figure 4).
+	RunScenarioI = workload.RunScenarioI
+	// RunScenarioII reproduces §4.4 scenario II.
+	RunScenarioII = workload.RunScenarioII
+	// RunScenarioIII reproduces §4.4 scenario III.
+	RunScenarioIII = workload.RunScenarioIII
+	// RunScenarioIV reproduces §4.4 scenario IV.
+	RunScenarioIV = workload.RunScenarioIV
+)
+
+// Residency values.
+const (
+	// MemoryResident databases fit entirely in the buffer pool.
+	MemoryResident = workload.MemoryResident
+	// DiskResident databases pay simulated I/O latency on pool misses.
+	DiskResident = workload.DiskResident
+)
+
+// Config assembles a System.
+type Config struct {
+	// DiskResident selects a latency/bandwidth-modelled disk (HDD profile)
+	// with a partial buffer pool; otherwise the database is memory-resident.
+	DiskResident bool
+	// Profile overrides the simulated disk profile (nil = HDD profile when
+	// DiskResident, zero-latency otherwise).
+	Profile *DiskProfile
+	// BufferPoolPages sizes the buffer pool (0 = 2048 pages = 64 MiB).
+	BufferPoolPages int
+}
+
+// System is an assembled database instance: a simulated disk, a buffer pool,
+// generated data, and (once an SSB database is loaded) a running CJOIN
+// pipeline usable as the engines' Global Query Plan.
+type System struct {
+	cat  *storage.Catalog
+	disk *storage.MemDisk
+	gqp  *cjoin.Operator
+
+	ssbDB    *ssb.DB
+	lineitem *storage.Table
+}
+
+// NewSystem creates an empty system.
+func NewSystem(cfg Config) *System {
+	profile := storage.DiskProfile{}
+	if cfg.DiskResident {
+		profile = storage.HDDProfile
+	}
+	if cfg.Profile != nil {
+		profile = *cfg.Profile
+	}
+	pool := cfg.BufferPoolPages
+	if pool <= 0 {
+		pool = 2048
+	}
+	disk := storage.NewMemDisk(profile)
+	return &System{cat: storage.NewCatalog(disk, pool, true), disk: disk}
+}
+
+// Catalog exposes the underlying catalog (table creation, buffer pool
+// statistics, raw scans).
+func (s *System) Catalog() *Catalog { return s.cat }
+
+// LoadSSB generates the Star Schema Benchmark database at the given scale
+// factor and starts the CJOIN pipeline over its full dimension chain.
+func (s *System) LoadSSB(sf float64, seed int64) (*SSBDatabase, error) {
+	if s.ssbDB != nil {
+		return nil, fmt.Errorf("repro: SSB already loaded")
+	}
+	db, err := ssb.Generate(s.cat, sf, seed)
+	if err != nil {
+		return nil, err
+	}
+	op, err := cjoin.NewOperator(db.Lineorder, []cjoin.DimSpec{
+		{Table: db.Date, FactKeyCol: ssb.LOOrderDate, DimKeyCol: ssb.DDateKey},
+		{Table: db.Customer, FactKeyCol: ssb.LOCustKey, DimKeyCol: ssb.CCustKey},
+		{Table: db.Supplier, FactKeyCol: ssb.LOSuppKey, DimKeyCol: ssb.SSuppKey},
+		{Table: db.Part, FactKeyCol: ssb.LOPartKey, DimKeyCol: ssb.PPartKey},
+	}, cjoin.Config{})
+	if err != nil {
+		return nil, err
+	}
+	s.ssbDB, s.gqp = db, op
+	return db, nil
+}
+
+// LoadTPCH generates the TPC-H lineitem table (Scenario I's data).
+func (s *System) LoadTPCH(sf float64, seed int64) (*Table, error) {
+	if s.lineitem != nil {
+		return nil, fmt.Errorf("repro: TPC-H already loaded")
+	}
+	tbl, err := tpch.Generate(s.cat, sf, seed)
+	if err != nil {
+		return nil, err
+	}
+	s.lineitem = tbl
+	return tbl, nil
+}
+
+// GQP returns the running CJOIN operator (nil before LoadSSB).
+func (s *System) GQP() *CJoinOperator { return s.gqp }
+
+// SSB returns the loaded SSB database (nil before LoadSSB).
+func (s *System) SSB() *SSBDatabase { return s.ssbDB }
+
+// Lineitem returns the loaded TPC-H table (nil before LoadTPCH).
+func (s *System) Lineitem() *Table { return s.lineitem }
+
+// NewEngine builds an execution engine over the system, wiring the CJOIN
+// pipeline as the engine's StarRunner when one is running.
+func (s *System) NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Star == nil && s.gqp != nil {
+		cfg.Star = s.gqp
+	}
+	return engine.New(s.cat, cfg)
+}
+
+// Close shuts the CJOIN pipeline down and releases the simulated disk.
+func (s *System) Close() {
+	if s.gqp != nil {
+		s.gqp.Close()
+		s.gqp = nil
+	}
+	if s.disk != nil {
+		_ = s.disk.Close()
+	}
+}

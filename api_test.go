@@ -1,0 +1,83 @@
+package repro
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSystemSSBRoundTrip(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Close()
+	db, err := sys.LoadSSB(0.0005, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.SSB() != db || sys.GQP() == nil {
+		t.Fatal("system accessors inconsistent after LoadSSB")
+	}
+	if _, err := sys.LoadSSB(0.0005, 1); err == nil {
+		t.Error("double LoadSSB must fail")
+	}
+
+	e := sys.NewEngine(EngineConfig{SP: true, Model: SPPull})
+	in := InstantiateSSB(db, Q3_2, rand.New(rand.NewSource(4)))
+	ctx := context.Background()
+	qc, err := e.Execute(ctx, in.Plan(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gqp, err := e.Execute(ctx, in.Plan(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := make([]string, 0), make([]string, 0)
+	for _, r := range qc.Rows {
+		a = append(a, r.String())
+	}
+	for _, r := range gqp.Rows {
+		b = append(b, r.String())
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between strategies", i)
+		}
+	}
+}
+
+func TestSystemTPCHQ1(t *testing.T) {
+	sys := NewSystem(Config{})
+	defer sys.Close()
+	tbl, err := sys.LoadTPCH(0.0005, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.LoadTPCH(0.0005, 1); err == nil {
+		t.Error("double LoadTPCH must fail")
+	}
+	e := sys.NewEngine(EngineConfig{})
+	res, err := e.Execute(context.Background(), Q1Plan(tbl, 90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("Q1 groups = %d, want 4", len(res.Rows))
+	}
+}
+
+func TestSystemDiskResidentProfile(t *testing.T) {
+	sys := NewSystem(Config{DiskResident: true, BufferPoolPages: 64})
+	defer sys.Close()
+	if _, err := sys.LoadTPCH(0.0005, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Catalog().Pool().Size(); got != 64 {
+		t.Errorf("pool size = %d, want 64", got)
+	}
+}

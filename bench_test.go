@@ -1,0 +1,462 @@
+// Benchmarks regenerating every experiment of the paper (one per scenario,
+// §4.3-4.4) plus ablation micro-benchmarks for the design choices called out
+// in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Scenario benches measure one workload round per iteration; the per-op time
+// is the quantity the paper plots (response time for Scenario I, inverse
+// throughput for Scenarios II-IV).
+package repro
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/bitvec"
+	"repro/internal/spl"
+	"repro/internal/ssb"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Shared environments (generated once per binary run)
+
+var (
+	tpchOnce sync.Once
+	tpchEnvV *workload.Env
+
+	ssbMemOnce sync.Once
+	ssbMemEnvV *workload.Env
+
+	ssbDiskOnce sync.Once
+	ssbDiskEnvV *workload.Env
+)
+
+func tpchEnv(b *testing.B) *workload.Env {
+	tpchOnce.Do(func() {
+		env, err := workload.NewTPCHEnv(0.01, workload.MemoryResident, 0, 1)
+		if err != nil {
+			panic(err)
+		}
+		tpchEnvV = env
+	})
+	return tpchEnvV
+}
+
+func ssbMemEnv(b *testing.B) *workload.Env {
+	ssbMemOnce.Do(func() {
+		env, err := workload.NewSSBEnv(0.01, workload.MemoryResident, 0, 1)
+		if err != nil {
+			panic(err)
+		}
+		ssbMemEnvV = env
+	})
+	return ssbMemEnvV
+}
+
+func ssbDiskEnv(b *testing.B) *workload.Env {
+	ssbDiskOnce.Do(func() {
+		env, err := workload.NewSSBEnv(0.01, workload.DiskResident, 0, 1)
+		if err != nil {
+			panic(err)
+		}
+		ssbDiskEnvV = env
+	})
+	return ssbDiskEnvV
+}
+
+// ---------------------------------------------------------------------------
+// Scenario I (Figure 4): response time of k identical TPC-H Q1 instances.
+
+func BenchmarkScenarioI(b *testing.B) {
+	env := tpchEnv(b)
+	ctx := context.Background()
+	scanOnly := map[PlanKind]bool{KindScan: true}
+	modes := []struct {
+		name string
+		cfg  EngineConfig
+	}{
+		{"query-centric", EngineConfig{}},
+		{"pushSP", EngineConfig{SP: true, Model: SPPush, SPStages: scanOnly}},
+		{"pullSP", EngineConfig{SP: true, Model: SPPull, SPStages: scanOnly}},
+	}
+	for _, m := range modes {
+		for _, k := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("mode=%s/queries=%d", m.name, k), func(b *testing.B) {
+				e := env.Engine(m.cfg)
+				for i := 0; i < b.N; i++ {
+					roots := make([]Node, k)
+					for j := range roots {
+						roots[j] = Q1Plan(env.Lineitem, 90)
+					}
+					if _, err := e.ExecuteBatch(ctx, roots); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scenario II: throughput vs concurrency (one batched round per iteration,
+// disk-resident, randomized Q2.1 parameters).
+
+func BenchmarkScenarioII(b *testing.B) {
+	env := ssbDiskEnv(b)
+	ctx := context.Background()
+	pool := ssb.Pool(env.SSB, ssb.Q2_1, 32, 5)
+	lines := []struct {
+		name   string
+		useGQP bool
+		cfg    EngineConfig
+	}{
+		{"qpipeSP", false, EngineConfig{SP: true, Model: SPPull}},
+		{"gqp", true, EngineConfig{SP: true, Model: SPPull}},
+	}
+	for _, line := range lines {
+		for _, clients := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("line=%s/clients=%d", line.name, clients), func(b *testing.B) {
+				e := env.Engine(line.cfg)
+				r := rand.New(rand.NewSource(3))
+				for i := 0; i < b.N; i++ {
+					roots := make([]Node, clients)
+					for j := range roots {
+						roots[j] = pool[r.Intn(len(pool))].Plan(line.useGQP)
+					}
+					if _, err := e.ExecuteBatch(ctx, roots); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(clients)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scenario III: throughput vs selectivity (memory-resident, low concurrency,
+// randomized predicate windows so SP rarely fires).
+
+func BenchmarkScenarioIII(b *testing.B) {
+	env := ssbMemEnv(b)
+	ctx := context.Background()
+	const clients = 2
+	for _, line := range []string{"qpipeSP", "gqp"} {
+		for _, sel := range []float64{0.1, 0.5, 1.0} {
+			b.Run(fmt.Sprintf("line=%s/sel=%.0f%%", line, sel*100), func(b *testing.B) {
+				useGQP := line == "gqp"
+				e := env.Engine(EngineConfig{SP: true, Model: SPPull})
+				width := int64(sel * 50)
+				if width < 1 {
+					width = 1
+				}
+				r := rand.New(rand.NewSource(3))
+				for i := 0; i < b.N; i++ {
+					roots := make([]Node, clients)
+					for j := range roots {
+						start := r.Int63n(50 - width + 1)
+						roots[j] = ssb.ParametricWindow(env.SSB, width, start).Plan(useGQP)
+					}
+					if _, err := e.ExecuteBatch(ctx, roots); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(clients)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scenario IV: throughput vs plan diversity (batched, disk-resident; gqp+sp
+// admits one query per distinct star sub-plan).
+
+func BenchmarkScenarioIV(b *testing.B) {
+	env := ssbDiskEnv(b)
+	ctx := context.Background()
+	const clients = 16
+	spOnCJoin := map[PlanKind]bool{KindCJoin: true}
+	lines := []struct {
+		name string
+		cfg  EngineConfig
+	}{
+		{"gqp", EngineConfig{}},
+		{"gqpSP", EngineConfig{SP: true, Model: SPPull, SPStages: spOnCJoin}},
+	}
+	for _, line := range lines {
+		for _, plans := range []int{1, 16} {
+			b.Run(fmt.Sprintf("line=%s/plans=%d", line.name, plans), func(b *testing.B) {
+				pool := ssb.Pool(env.SSB, ssb.Q2_1, plans, 11)
+				e := env.Engine(line.cfg)
+				r := rand.New(rand.NewSource(3))
+				for i := 0; i < b.N; i++ {
+					roots := make([]Node, clients)
+					for j := range roots {
+						roots[j] = pool[r.Intn(len(pool))].Plan(true)
+					}
+					if _, err := e.ExecuteBatch(ctx, roots); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(clients)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: FIFO copy (push) vs SPL hand-off (pull) for one producer and N
+// consumers — the data structure comparison behind Scenario I.
+
+func benchPages() []*batch.Batch {
+	pages := make([]*batch.Batch, 64)
+	for i := range pages {
+		bt := batch.New(256)
+		for j := 0; j < 256; j++ {
+			bt.Append(types.Row{types.NewInt(int64(j)), types.NewFloat(float64(j)), types.NewString("payload-payload")})
+		}
+		pages[i] = bt
+	}
+	return pages
+}
+
+func BenchmarkSPLvsFIFO(b *testing.B) {
+	pages := benchPages()
+	for _, consumers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("model=push/consumers=%d", consumers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				chans := make([]chan *batch.Batch, consumers)
+				var wg sync.WaitGroup
+				for c := 0; c < consumers; c++ {
+					chans[c] = make(chan *batch.Batch, 8)
+					wg.Add(1)
+					go func(ch chan *batch.Batch) {
+						defer wg.Done()
+						for range ch {
+						}
+					}(chans[c])
+				}
+				// The producer copies each page into every consumer FIFO.
+				for _, p := range pages {
+					for c, ch := range chans {
+						if c == 0 {
+							ch <- p
+						} else {
+							ch <- p.Clone()
+						}
+					}
+				}
+				for _, ch := range chans {
+					close(ch)
+				}
+				wg.Wait()
+			}
+		})
+		b.Run(fmt.Sprintf("model=pull/consumers=%d", consumers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				list := spl.New(8)
+				var wg sync.WaitGroup
+				for c := 0; c < consumers; c++ {
+					r, err := list.NewReader()
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func(r *spl.Reader) {
+						defer wg.Done()
+						for {
+							if _, err := r.Next(); err != nil {
+								return
+							}
+						}
+					}(r)
+				}
+				// The producer appends each page exactly once.
+				for _, p := range pages {
+					if err := list.Append(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				list.Close(nil)
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: circular shared scans vs independent scans on a latency-modelled
+// disk (k concurrent scanners).
+
+func BenchmarkSharedScan(b *testing.B) {
+	mk := func(shared bool) (*storage.Table, *storage.MemDisk) {
+		disk := storage.NewMemDisk(storage.DiskProfile{ReadLatency: 20 * time.Microsecond, MaxConcurrent: 4})
+		cat := storage.NewCatalog(disk, 16, shared)
+		tbl, err := cat.CreateTable("t", types.NewSchema(
+			types.Column{Name: "k", Kind: types.KindInt},
+			types.Column{Name: "pad", Kind: types.KindString},
+		))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pad := types.NewString(string(make([]byte, 120)))
+		for i := 0; i < 30000; i++ {
+			if err := tbl.File.Append(types.Row{types.NewInt(int64(i)), pad}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tbl.File.Seal(); err != nil {
+			b.Fatal(err)
+		}
+		return tbl, disk
+	}
+	for _, shared := range []bool{true, false} {
+		tbl, disk := mk(shared)
+		b.Run(fmt.Sprintf("shared=%v/scanners=4", shared), func(b *testing.B) {
+			readsBefore := disk.Stats().PageReads
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for s := 0; s < 4; s++ {
+					wg.Add(1)
+					// Scanners arrive staggered (as real queries do): late
+					// arrivals either join the in-progress sweep at its
+					// current position (shared) or start their own from
+					// page zero (unshared).
+					go func(delay time.Duration) {
+						defer wg.Done()
+						time.Sleep(delay)
+						cur := tbl.Attach()
+						defer cur.Close()
+						for {
+							if _, ok, err := cur.NextRows(); err != nil || !ok {
+								return
+							}
+						}
+					}(time.Duration(s) * 2 * time.Millisecond)
+				}
+				wg.Wait()
+			}
+			// The savings of circular shared scans show up as disk reads per
+			// round (~1x pages shared vs ~4x unshared).
+			reads := disk.Stats().PageReads - readsBefore
+			b.ReportMetric(float64(reads)/float64(b.N), "diskreads/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: bitmap AND cost per CJOIN probe as the admitted-query population
+// grows (the GQP bookkeeping Scenario III measures).
+
+func BenchmarkCJoinBitmapAnd(b *testing.B) {
+	for _, queries := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("queries=%d", queries), func(b *testing.B) {
+			tuple := bitvec.New(queries)
+			entry := bitvec.New(queries)
+			mask := bitvec.New(queries)
+			for i := 0; i < queries; i++ {
+				if i%2 == 0 {
+					tuple.Set(i)
+				}
+				if i%3 == 0 {
+					entry.Set(i)
+				}
+				if i%5 != 0 {
+					mask.Set(i)
+				}
+			}
+			work := tuple.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(tuple)
+				work.AndMasked(entry, mask)
+				if !work.Any() {
+					b.Fatal("bitmap unexpectedly empty")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: batched vs staggered submission — the SP sharing window
+// (Scenario IV's batching knob).
+
+func BenchmarkSPWindow(b *testing.B) {
+	env := ssbMemEnv(b)
+	ctx := context.Background()
+	in := ssb.Instantiate(env.SSB, ssb.Q2_1, rand.New(rand.NewSource(7)))
+	const k = 8
+	b.Run("submission=batched", func(b *testing.B) {
+		e := env.Engine(EngineConfig{SP: true, Model: SPPull})
+		for i := 0; i < b.N; i++ {
+			roots := make([]Node, k)
+			for j := range roots {
+				roots[j] = in.Plan(false)
+			}
+			if _, err := e.ExecuteBatch(ctx, roots); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("submission=staggered", func(b *testing.B) {
+		e := env.Engine(EngineConfig{SP: true, Model: SPPull})
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < k; j++ {
+				if _, err := e.Execute(ctx, in.Plan(false)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: scan readahead — prefetching the next page while the current one
+// decodes hides disk latency on sequential sweeps.
+
+func BenchmarkScanPrefetch(b *testing.B) {
+	for _, prefetch := range []bool{false, true} {
+		disk := storage.NewMemDisk(storage.DiskProfile{ReadLatency: 100 * time.Microsecond, MaxConcurrent: 4})
+		cat := storage.NewCatalog(disk, 16, true)
+		tbl, err := cat.CreateTable("t", types.NewSchema(
+			types.Column{Name: "k", Kind: types.KindInt},
+			types.Column{Name: "pad", Kind: types.KindString},
+		))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pad := types.NewString(string(make([]byte, 120)))
+		for i := 0; i < 30000; i++ {
+			if err := tbl.File.Append(types.Row{types.NewInt(int64(i)), pad}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tbl.File.Seal(); err != nil {
+			b.Fatal(err)
+		}
+		tbl.ScanGroup().SetPrefetch(prefetch)
+		b.Run(fmt.Sprintf("prefetch=%v", prefetch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cur := tbl.Attach()
+				for {
+					if _, ok, err := cur.NextRows(); err != nil {
+						b.Fatal(err)
+					} else if !ok {
+						break
+					}
+				}
+				cur.Close()
+			}
+		})
+	}
+}

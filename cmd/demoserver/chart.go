@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chartSeries is one plotted line.
+type chartSeries struct {
+	Label  string
+	Values []float64
+}
+
+// lineColors cycles through the demo palette (the paper's GUI uses dark/light
+// blue for its two engines).
+var lineColors = []string{"#1f4e8c", "#4fa3d1", "#d1772f", "#4f9d69"}
+
+// renderSVG draws a simple line chart: x tick labels, y axis scaled to the
+// data, one polyline per series, and a legend. Stdlib-only stand-in for the
+// demo GUI's dynamically generated graphs.
+func renderSVG(title, yLabel string, xticks []string, series []chartSeries) string {
+	const (
+		w, h                     = 640, 360
+		left, right, top, bottom = 70, 20, 40, 60
+	)
+	plotW := float64(w - left - right)
+	plotH := float64(h - top - bottom)
+
+	ymax := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+	ymax *= 1.1
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&sb, `<text x="%d" y="22" font-size="15" font-family="sans-serif" font-weight="bold">%s</text>`, left, title)
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`, left, top, left, h-bottom)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`, left, h-bottom, w-right, h-bottom)
+	fmt.Fprintf(&sb, `<text x="14" y="%d" font-size="11" font-family="sans-serif" transform="rotate(-90 14 %d)">%s</text>`,
+		(top+h-bottom)/2+30, (top+h-bottom)/2+30, yLabel)
+
+	// Y grid lines and labels.
+	for i := 0; i <= 4; i++ {
+		v := ymax * float64(i) / 4
+		y := float64(h-bottom) - plotH*float64(i)/4
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`, left, y, w-right, y)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-size="10" font-family="sans-serif" text-anchor="end">%s</text>`,
+			left-6, y+3, compactNumber(v))
+	}
+
+	// X positions and tick labels.
+	n := len(xticks)
+	xpos := func(i int) float64 {
+		if n == 1 {
+			return float64(left) + plotW/2
+		}
+		return float64(left) + plotW*float64(i)/float64(n-1)
+	}
+	for i, lbl := range xticks {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="10" font-family="sans-serif" text-anchor="middle">%s</text>`,
+			xpos(i), h-bottom+16, lbl)
+	}
+
+	// Series polylines and point markers.
+	for si, s := range series {
+		color := lineColors[si%len(lineColors)]
+		var pts []string
+		for i, v := range s.Values {
+			if i >= n || math.IsNaN(v) {
+				continue
+			}
+			y := float64(h-bottom) - plotH*v/ymax
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xpos(i), y))
+		}
+		fmt.Fprintf(&sb, `<polyline fill="none" stroke="%s" stroke-width="2.2" points="%s"/>`,
+			color, strings.Join(pts, " "))
+		for _, p := range pts {
+			var px, py float64
+			fmt.Sscanf(p, "%f,%f", &px, &py)
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`, px, py, color)
+		}
+	}
+
+	// Legend.
+	lx := left + 10
+	for si, s := range series {
+		color := lineColors[si%len(lineColors)]
+		y := h - 18
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`, lx, y-10, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" font-family="sans-serif">%s</text>`, lx+16, y, s.Label)
+		lx += 16 + 9*len(s.Label) + 24
+		_ = si
+	}
+
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+// compactNumber renders axis labels ("1.2k", "350m" for millis).
+func compactNumber(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestIndexRendersEveryScenarioForm(t *testing.T) {
+	for _, s := range []string{"1", "2", "3", "4", "", "9"} {
+		req := httptest.NewRequest(http.MethodGet, "/?scenario="+s, nil)
+		rec := httptest.NewRecorder()
+		handleIndex(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("scenario %q: status %d", s, rec.Code)
+		}
+		body := rec.Body.String()
+		if !strings.Contains(body, "<form") || !strings.Contains(body, "Run") {
+			t.Errorf("scenario %q: form missing", s)
+		}
+	}
+}
+
+func TestRunScenarioIEndpoint(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet,
+		"/run?scenario=1&sf=0.001&concurrency=1,2&cores=2&residency=memory", nil)
+	rec := httptest.NewRecorder()
+	handleRun(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if strings.Contains(body, `class="err"`) {
+		t.Fatalf("run returned an error page:\n%s", body)
+	}
+	if strings.Count(body, "<svg") != 2 {
+		t.Errorf("want 2 charts (response time + CPU), got %d", strings.Count(body, "<svg"))
+	}
+	if !strings.Contains(body, "<table>") {
+		t.Error("data table missing")
+	}
+}
+
+func TestRunScenarioIIIEndpoint(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet,
+		"/run?scenario=3&sf=0.001&selectivity=0.5&clients=2&duration_ms=100", nil)
+	rec := httptest.NewRecorder()
+	handleRun(rec, req)
+	body := rec.Body.String()
+	if strings.Contains(body, `class="err"`) {
+		t.Fatalf("run returned an error page:\n%s", body)
+	}
+	if !strings.Contains(body, "qpipe+sp") || !strings.Contains(body, "gqp") {
+		t.Error("line labels missing from output")
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/run?scenario=2&clients=nope", nil)
+	rec := httptest.NewRecorder()
+	handleRun(rec, req)
+	if !strings.Contains(rec.Body.String(), `class="err"`) {
+		t.Error("bad parameter must render an error, not crash")
+	}
+	req = httptest.NewRequest(http.MethodGet, "/run?scenario=2&clients=1&template=QX.Y&duration_ms=50&sf=0.001", nil)
+	rec = httptest.NewRecorder()
+	handleRun(rec, req)
+	if !strings.Contains(rec.Body.String(), `class="err"`) {
+		t.Error("unknown template must render an error")
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	svg := renderSVG("t", "y", []string{"1", "2", "4"}, []chartSeries{
+		{Label: "a", Values: []float64{1, 2, 3}},
+		{Label: "b", Values: []float64{3, 2, 1}},
+	})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an svg document")
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+	for _, want := range []string{">a<", ">b<", ">1<", ">4<"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// Degenerate inputs must not panic or divide by zero.
+	_ = renderSVG("t", "y", []string{"1"}, []chartSeries{{Label: "a", Values: []float64{0}}})
+	_ = renderSVG("t", "y", nil, nil)
+}

@@ -1,0 +1,337 @@
+// Command sharebench regenerates the paper's four demonstration scenarios
+// (§4.3-4.4) as text tables — the same series the demo GUI plots in Figures
+// 4 and 5. Every knob the GUI exposes is a flag.
+//
+// Examples:
+//
+//	sharebench -scenario 1 -sf 0.02 -cores 8
+//	sharebench -scenario 2 -clients 1,2,4,8,16 -duration 2s
+//	sharebench -scenario 3 -selectivity 0.02,0.25,0.5,1.0
+//	sharebench -scenario 4 -plans 1,2,4,8,16 -template Q2.1
+//	sharebench -scenario all
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/ssb"
+	"repro/internal/workload"
+)
+
+var (
+	scenario    = flag.String("scenario", "all", "scenario to run: 1, 2, 3, 4 or all")
+	sf          = flag.Float64("sf", 0.01, "scale factor (fraction of SF=1; 0.01 = 60k fact rows)")
+	seed        = flag.Int64("seed", 1, "workload generation seed")
+	duration    = flag.Duration("duration", 2*time.Second, "throughput measurement duration per point")
+	cores       = flag.Int("cores", 0, "cores to bind (scenario 1; 0 = all)")
+	concurrency = flag.String("concurrency", "1,2,4,8,16,32", "scenario 1 x-axis")
+	clients     = flag.String("clients", "1,2,4,8,16,32", "scenario 2 x-axis")
+	selectivity = flag.String("selectivity", "0.02,0.1,0.25,0.5,0.75,1.0", "scenario 3 x-axis")
+	plans       = flag.String("plans", "1,2,4,8,16,32", "scenario 4 x-axis")
+	nclients    = flag.Int("nclients", 0, "fixed client count (scenario 3: default 2, scenario 4: default 16)")
+	template    = flag.String("template", "Q2.1", "SSB template for scenarios 2 and 4")
+	residency   = flag.String("residency", "", "override residency: memory or disk")
+	batching    = flag.Bool("batching", false, "batched submission for scenario 2")
+	poolPages   = flag.Int("pool-pages", 0, "buffer pool pages (0 = scenario default)")
+)
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseTemplate(s string) (ssb.Template, error) {
+	for _, t := range ssb.AllTemplates {
+		if strings.EqualFold(t.String(), s) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown template %q (want Q1.1..Q4.3)", s)
+}
+
+func parseResidency(s string) (repro.Residency, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return workload.DefaultResidency, nil
+	case "memory":
+		return repro.MemoryResident, nil
+	case "disk":
+		return repro.DiskResident, nil
+	default:
+		return 0, fmt.Errorf("unknown residency %q (want memory or disk)", s)
+	}
+}
+
+// mustInts and friends adapt the parsers for flag handling in main.
+func mustInts(s string) []int {
+	v, err := parseIntList(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func mustFloats(s string) []float64 {
+	v, err := parseFloatList(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func mustTemplate(s string) ssb.Template {
+	v, err := parseTemplate(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func mustResidency(s string) repro.Residency {
+	v, err := parseResidency(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	ctx := context.Background()
+
+	run := map[string]bool{}
+	if *scenario == "all" {
+		run["1"], run["2"], run["3"], run["4"] = true, true, true, true
+	} else {
+		for _, s := range strings.Split(*scenario, ",") {
+			run[strings.TrimSpace(s)] = true
+		}
+	}
+	if len(run) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if run["1"] {
+		runScenarioI(ctx)
+	}
+	if run["2"] {
+		runScenarioII(ctx)
+	}
+	if run["3"] {
+		runScenarioIII(ctx)
+	}
+	if run["4"] {
+		runScenarioIV(ctx)
+	}
+}
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println(strings.Repeat("=", 78))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 78))
+}
+
+func runScenarioI(ctx context.Context) {
+	cfg := repro.ScenarioIConfig{
+		SF:              *sf,
+		Cores:           *cores,
+		Concurrency:     mustInts(*concurrency),
+		Residency:       mustResidency(*residency),
+		BufferPoolPages: *poolPages,
+		Seed:            *seed,
+	}
+	res, err := repro.RunScenarioI(ctx, cfg)
+	if err != nil {
+		log.Fatalf("scenario I: %v", err)
+	}
+	header(fmt.Sprintf("Scenario I: push- vs pull-based SP — TPC-H Q1, sf=%g, cores=%d, %s",
+		res.Config.SF, res.Config.Cores, res.Config.Residency))
+	fmt.Printf("%-14s", "concurrency")
+	for _, l := range res.Lines {
+		fmt.Printf("%18s", l)
+	}
+	fmt.Printf("   | CPU utilisation\n")
+	for _, pt := range res.Points {
+		fmt.Printf("%-14d", pt.Concurrency)
+		for _, l := range res.Lines {
+			fmt.Printf("%18s", pt.Response[l].Round(100*time.Microsecond))
+		}
+		fmt.Printf("   |")
+		for _, l := range res.Lines {
+			fmt.Printf(" %s=%.2f", shortLabel(l), pt.CPUUtil[l])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nexpected shape: push-SP grows with concurrency at flat CPU (copy serialization")
+	fmt.Println("point); pull-SP stays near-flat; query-centric is competitive only while")
+	fmt.Println("concurrency <= cores.")
+}
+
+// shortLine abbreviates scenario II-IV line labels for compact columns.
+func shortLine(l string) string {
+	switch l {
+	case workload.LineQPipeSP:
+		return "qp"
+	case workload.LineGQP:
+		return "gqp"
+	case workload.LineGQPSP:
+		return "gqp+sp"
+	default:
+		return l
+	}
+}
+
+func shortLabel(l string) string {
+	switch l {
+	case workload.LineQueryCentric:
+		return "qc"
+	case workload.LinePushSP:
+		return "push"
+	case workload.LinePullSP:
+		return "pull"
+	default:
+		return l
+	}
+}
+
+func runScenarioII(ctx context.Context) {
+	cfg := repro.ScenarioIIConfig{
+		SF:              *sf,
+		Clients:         mustInts(*clients),
+		Template:        mustTemplate(*template),
+		Duration:        *duration,
+		Residency:       mustResidency(*residency),
+		BufferPoolPages: *poolPages,
+		Batching:        *batching,
+		Seed:            *seed,
+	}
+	res, err := repro.RunScenarioII(ctx, cfg)
+	if err != nil {
+		log.Fatalf("scenario II: %v", err)
+	}
+	header(fmt.Sprintf("Scenario II: impact of concurrency — SSB %s, sf=%g, %s, randomized params",
+		res.Config.Template, res.Config.SF, res.Config.Residency))
+	fmt.Printf("%-12s", "clients")
+	for _, l := range res.Lines {
+		fmt.Printf("%16s", l+" q/s")
+	}
+	fmt.Printf("   | mean latency / CPU\n")
+	for _, pt := range res.Points {
+		fmt.Printf("%-12d", pt.Clients)
+		for _, l := range res.Lines {
+			fmt.Printf("%16.1f", pt.Throughput[l])
+		}
+		fmt.Printf("   |")
+		for _, l := range res.Lines {
+			fmt.Printf(" %s=%s/%.2f", shortLine(l), pt.MeanLatency[l].Round(time.Millisecond), pt.CPUUtil[l])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nexpected shape: the GQP line overtakes the query-centric line as concurrency grows.")
+}
+
+func runScenarioIII(ctx context.Context) {
+	n := *nclients
+	if n == 0 {
+		n = 2
+	}
+	cfg := repro.ScenarioIIIConfig{
+		SF:            *sf,
+		Selectivities: mustFloats(*selectivity),
+		Clients:       n,
+		Duration:      *duration,
+		Residency:     mustResidency(*residency),
+		Seed:          *seed,
+	}
+	res, err := repro.RunScenarioIII(ctx, cfg)
+	if err != nil {
+		log.Fatalf("scenario III: %v", err)
+	}
+	header(fmt.Sprintf("Scenario III: impact of selectivity — sf=%g, %d clients, %s",
+		res.Config.SF, res.Config.Clients, res.Config.Residency))
+	fmt.Printf("%-14s", "selectivity")
+	for _, l := range res.Lines {
+		fmt.Printf("%16s", l+" q/s")
+	}
+	fmt.Printf("   | mean latency / CPU\n")
+	for _, pt := range res.Points {
+		fmt.Printf("%-14.2f", pt.Selectivity)
+		for _, l := range res.Lines {
+			fmt.Printf("%16.1f", pt.Throughput[l])
+		}
+		fmt.Printf("   |")
+		for _, l := range res.Lines {
+			fmt.Printf(" %s=%s/%.2f", shortLine(l), pt.MeanLatency[l].Round(time.Millisecond), pt.CPUUtil[l])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nexpected shape: at low concurrency the GQP's bitmap bookkeeping keeps it below")
+	fmt.Println("query-centric operators across the sweep.")
+}
+
+func runScenarioIV(ctx context.Context) {
+	n := *nclients
+	if n == 0 {
+		n = 16
+	}
+	cfg := repro.ScenarioIVConfig{
+		SF:              *sf,
+		Plans:           mustInts(*plans),
+		Clients:         n,
+		Template:        mustTemplate(*template),
+		Duration:        *duration,
+		Residency:       mustResidency(*residency),
+		BufferPoolPages: *poolPages,
+		Seed:            *seed,
+	}
+	res, err := repro.RunScenarioIV(ctx, cfg)
+	if err != nil {
+		log.Fatalf("scenario IV: %v", err)
+	}
+	header(fmt.Sprintf("Scenario IV: impact of similarity — SSB %s, sf=%g, %d clients, batched, %s",
+		res.Config.Template, res.Config.SF, res.Config.Clients, res.Config.Residency))
+	fmt.Printf("%-10s", "plans")
+	for _, l := range res.Lines {
+		fmt.Printf("%14s", l+" q/s")
+	}
+	fmt.Printf("%14s%14s\n", "gqp+sp admits", "cjoin satell.")
+	for _, pt := range res.Points {
+		fmt.Printf("%-10d", pt.Plans)
+		for _, l := range res.Lines {
+			fmt.Printf("%14.1f", pt.Throughput[l])
+		}
+		fmt.Printf("%14d%14d\n", pt.Admitted[workload.LineGQPSP], pt.SPAttachedCJoin[workload.LineGQPSP])
+	}
+	fmt.Println("\nexpected shape: with few distinct plans gqp+sp admits a fraction of the queries")
+	fmt.Println("(satellites share the host's CJOIN output) and outperforms plain gqp; the gap")
+	fmt.Println("closes as the number of distinct plans grows.")
+}

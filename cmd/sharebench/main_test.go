@@ -1,0 +1,62 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ssb"
+	"repro/internal/workload"
+)
+
+func TestParseIntList(t *testing.T) {
+	got, err := parseIntList("1, 2,8")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 8}) {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := parseIntList("1,x"); err == nil {
+		t.Error("bad element must fail")
+	}
+}
+
+func TestParseFloatList(t *testing.T) {
+	got, err := parseFloatList("0.02, 1")
+	if err != nil || !reflect.DeepEqual(got, []float64{0.02, 1}) {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := parseFloatList("0.1,?"); err == nil {
+		t.Error("bad element must fail")
+	}
+}
+
+func TestParseTemplate(t *testing.T) {
+	for _, tpl := range ssb.AllTemplates {
+		got, err := parseTemplate(tpl.String())
+		if err != nil || got != tpl {
+			t.Errorf("round-trip of %s failed: %v %v", tpl, got, err)
+		}
+	}
+	if got, err := parseTemplate("q4.3"); err != nil || got != ssb.Q4_3 {
+		t.Errorf("case-insensitive parse failed: %v %v", got, err)
+	}
+	if _, err := parseTemplate("Q9.9"); err == nil {
+		t.Error("unknown template must fail")
+	}
+}
+
+func TestParseResidency(t *testing.T) {
+	cases := map[string]workload.Residency{
+		"":       workload.DefaultResidency,
+		"memory": workload.MemoryResident,
+		"disk":   workload.DiskResident,
+		"DISK":   workload.DiskResident,
+	}
+	for in, want := range cases {
+		got, err := parseResidency(in)
+		if err != nil || got != want {
+			t.Errorf("parseResidency(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseResidency("tape"); err == nil {
+		t.Error("unknown residency must fail")
+	}
+}

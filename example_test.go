@@ -1,0 +1,56 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+// Executing one SSB query through the QPipe engine, then the same query
+// through the shared CJOIN Global Query Plan.
+func Example_bothStrategies() {
+	sys := repro.NewSystem(repro.Config{})
+	defer sys.Close()
+	db, err := sys.LoadSSB(0.001, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sys.NewEngine(repro.EngineConfig{})
+	ctx := context.Background()
+
+	inst := repro.InstantiateSSB(db, repro.Q3_1, rand.New(rand.NewSource(7)))
+	qc, err := eng.Execute(ctx, inst.Plan(false)) // query-centric hash joins
+	if err != nil {
+		log.Fatal(err)
+	}
+	gqp, err := eng.Execute(ctx, inst.Plan(true)) // shared CJOIN pipeline
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(qc.Rows) == len(gqp.Rows))
+	// Output: true
+}
+
+// Identical queries submitted as a batch share one evaluation through
+// Simultaneous Pipelining: the engine reports one executed packet and two
+// satellites at the shared stage.
+func Example_simultaneousPipelining() {
+	sys := repro.NewSystem(repro.Config{})
+	defer sys.Close()
+	tbl, err := sys.LoadTPCH(0.001, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sys.NewEngine(repro.EngineConfig{SP: true, Model: repro.SPPull})
+	roots := []repro.Node{repro.Q1Plan(tbl, 90), repro.Q1Plan(tbl, 90), repro.Q1Plan(tbl, 90)}
+	if _, err := eng.ExecuteBatch(context.Background(), roots); err != nil {
+		log.Fatal(err)
+	}
+	// The whole plan is identical, so sharing happens at the root sort stage.
+	st := eng.StageStatsFor(repro.KindSort)
+	fmt.Printf("executed=%d satellites=%d\n", st.Executed, st.SPAttached)
+	// Output: executed=1 satellites=2
+}

@@ -1,0 +1,69 @@
+// Proactive sharing with a Global Query Plan (Figure 1b / Scenario II in
+// miniature).
+//
+// Two star queries with the same join structure but different selection
+// predicates are evaluated by ONE shared CJOIN pipeline: the circular fact
+// scan annotates every tuple with a query bitmap, the shared hash-joins AND
+// entry bitmaps into it, and the distributor routes each surviving tuple to
+// the queries whose bits survived. The example then compares batch latency
+// against query-centric execution at increasing concurrency.
+//
+// Run with: go run ./examples/gqp
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	sys := repro.NewSystem(repro.Config{DiskResident: true})
+	defer sys.Close()
+	db, err := sys.LoadSSB(0.01, 9) // 60k fact rows on a latency-modelled disk
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sys.NewEngine(repro.EngineConfig{})
+	ctx := context.Background()
+
+	// Figure 1b: identical join structure, different selections.
+	r := rand.New(rand.NewSource(2))
+	q1 := repro.InstantiateSSB(db, repro.Q2_1, r)
+	q2 := repro.InstantiateSSB(db, repro.Q2_1, r)
+	res, err := eng.ExecuteBatch(ctx, []repro.Node{q1.Plan(true), q2.Plan(true)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shared GQP evaluated both queries: %d and %d result rows\n",
+		len(res[0].Rows), len(res[1].Rows))
+	st := sys.GQP().Stats()
+	fmt.Printf("cjoin: admitted=%d pages-scanned=%d fact-tuples=%d probes=%d routed=%d\n\n",
+		st.Admitted, st.PagesScanned, st.FactTuplesIn, st.Probes, st.TuplesRouted)
+
+	// Concurrency sweep: batch latency of k distinct Q2.1 instances.
+	pool := repro.SSBPool(db, repro.Q2_1, 32, 5)
+	fmt.Printf("%-12s%18s%18s\n", "clients", "query-centric", "shared GQP")
+	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+		var lat [2]time.Duration
+		for mode := 0; mode < 2; mode++ {
+			useGQP := mode == 1
+			roots := make([]repro.Node, k)
+			for i := range roots {
+				roots[i] = pool[i%len(pool)].Plan(useGQP)
+			}
+			start := time.Now()
+			if _, err := eng.ExecuteBatch(ctx, roots); err != nil {
+				log.Fatal(err)
+			}
+			lat[mode] = time.Since(start).Round(time.Millisecond)
+		}
+		fmt.Printf("%-12d%18s%18s\n", k, lat[0], lat[1])
+	}
+	fmt.Println("\nthe GQP's shared circular scan and shared hash-joins amortize I/O and join work")
+	fmt.Println("across all concurrent queries, so its latency grows far slower with concurrency.")
+}

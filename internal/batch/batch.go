@@ -1,0 +1,55 @@
+// Package batch defines the unit of data flow between operators: a page of
+// rows. QPipe exchanges data between packets page-at-a-time rather than
+// tuple-at-a-time; batches are those pages. The push-based SP model deep-
+// copies batches into each satellite's FIFO (the serialization point the
+// paper identifies), while the pull-based SPL shares a single immutable
+// batch among all consumers.
+package batch
+
+import "repro/internal/types"
+
+// DefaultCapacity is the default number of rows per batch. It plays the role
+// of the page size in the original page-based exchange.
+const DefaultCapacity = 1024
+
+// Batch is a page of rows. Once a producer hands a batch downstream the
+// batch and its rows must be treated as immutable; this is what makes the
+// zero-copy SPL hand-off safe.
+type Batch struct {
+	Rows []types.Row
+}
+
+// New returns an empty batch with the given row capacity.
+func New(capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Batch{Rows: make([]types.Row, 0, capacity)}
+}
+
+// Of builds a batch from the given rows (testing convenience).
+func Of(rows ...types.Row) *Batch { return &Batch{Rows: rows} }
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return len(b.Rows) }
+
+// Append adds a row to the batch.
+func (b *Batch) Append(r types.Row) { b.Rows = append(b.Rows, r) }
+
+// Full reports whether the batch reached its capacity.
+func (b *Batch) Full() bool { return len(b.Rows) == cap(b.Rows) }
+
+// Reset empties the batch, retaining capacity. Only valid for batches that
+// have not been handed downstream.
+func (b *Batch) Reset() { b.Rows = b.Rows[:0] }
+
+// Clone returns a deep copy of the batch (fresh row slices; datum payloads
+// copied). This is the per-consumer copy the push-based SP model performs —
+// its cost is exactly the overhead Scenario I measures.
+func (b *Batch) Clone() *Batch {
+	c := &Batch{Rows: make([]types.Row, len(b.Rows))}
+	for i, r := range b.Rows {
+		c.Rows[i] = r.Clone()
+	}
+	return c
+}

@@ -1,0 +1,54 @@
+package batch
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestNewDefaults(t *testing.T) {
+	b := New(0)
+	if cap(b.Rows) != DefaultCapacity {
+		t.Errorf("default capacity = %d, want %d", cap(b.Rows), DefaultCapacity)
+	}
+	if b.Len() != 0 {
+		t.Errorf("fresh batch Len = %d", b.Len())
+	}
+}
+
+func TestAppendAndFull(t *testing.T) {
+	b := New(2)
+	b.Append(types.Row{types.NewInt(1)})
+	if b.Full() {
+		t.Error("batch of 1/2 must not be full")
+	}
+	b.Append(types.Row{types.NewInt(2)})
+	if !b.Full() {
+		t.Error("batch of 2/2 must be full")
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	b := Of(types.Row{types.NewInt(1), types.NewString("x")})
+	c := b.Clone()
+	c.Rows[0][0] = types.NewInt(42)
+	if b.Rows[0][0].I != 1 {
+		t.Error("mutating clone rows must not affect the original")
+	}
+	c.Append(types.Row{types.NewInt(3)})
+	if b.Len() != 1 {
+		t.Error("appending to clone must not affect the original")
+	}
+}
+
+func TestResetRetainsCapacity(t *testing.T) {
+	b := New(8)
+	b.Append(types.Row{types.NewInt(1)})
+	b.Reset()
+	if b.Len() != 0 || cap(b.Rows) != 8 {
+		t.Errorf("Reset: len=%d cap=%d", b.Len(), cap(b.Rows))
+	}
+}

@@ -1,0 +1,682 @@
+// Package cjoin implements the CJOIN operator: a Global Query Plan (GQP)
+// that evaluates the joins of all concurrent star queries in a single shared
+// pipeline (proactive sharing, §3 of the paper).
+//
+// The pipeline is a chain:
+//
+//	preprocessor → shared hash-join(dim₁) → … → shared hash-join(dimₖ) → distributor
+//
+// The preprocessor drives a circular scan of the fact table and annotates
+// every fact tuple with a bitmap: bit q is set iff the tuple satisfies query
+// q's fact-table predicate. Each shared hash-join probes its dimension hash
+// table — whose entries carry bitmaps recording which queries' dimension
+// predicates the entry satisfies — and ANDs the tuple bitmap with the entry
+// bitmap, masked so queries that do not reference the dimension pass
+// through. Tuples whose bitmap reaches zero are dropped. The distributor
+// routes each surviving joined tuple to every query whose bit survived.
+//
+// Queries are admitted and retired via control messages that flow through
+// the pipeline in stream order, so each stage updates its own state (entry
+// bitmaps, stage mask) without locks: a query's admission marker precedes
+// its first fact tuple at every stage, and its finish marker follows its
+// last, which makes admission and retirement race-free by construction.
+// A query completes when the circular scan wraps around to its admission
+// position — exactly one full sweep per query.
+package cjoin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/bitvec"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// ErrClosed is returned by Run after the operator has been shut down.
+var ErrClosed = errors.New("cjoin: operator closed")
+
+// DimSpec fixes one dimension of the Global Query Plan chain: the fact
+// foreign-key column and the dimension primary-key column.
+type DimSpec struct {
+	Table      *storage.Table
+	FactKeyCol int
+	DimKeyCol  int
+}
+
+// Config tunes the operator.
+type Config struct {
+	// BatchSize is the number of joined rows per batch delivered to a query.
+	BatchSize int
+	// QueueLen is the channel depth between pipeline stages (in fact pages).
+	QueueLen int
+	// OutBuffer is the per-query output channel depth (in batches).
+	OutBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = batch.DefaultCapacity
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 4
+	}
+	if c.OutBuffer <= 0 {
+		c.OutBuffer = 4
+	}
+	return c
+}
+
+// Stats are cumulative operator counters.
+type Stats struct {
+	Admitted       int64 // queries admitted into the GQP
+	Completed      int64 // queries that finished a full sweep
+	Canceled       int64 // queries canceled mid-sweep
+	PagesScanned   int64 // fact pages read by the circular scan
+	FactTuplesIn   int64 // fact tuples entering the pipeline
+	DroppedAtScan  int64 // tuples whose bitmap was zero after fact predicates
+	Probes         int64 // dimension hash probes
+	ProbeMisses    int64 // probes with no matching dimension tuple
+	DroppedInChain int64 // tuples dropped inside the join chain
+	TuplesRouted   int64 // (tuple, query) deliveries by the distributor
+	// Busy is the accumulated processing time across all pipeline
+	// goroutines (preprocessor, join stages, distributor) — the GQP's share
+	// of the CPU-utilisation proxy.
+	Busy time.Duration
+}
+
+// ctlKind discriminates control messages.
+type ctlKind uint8
+
+const (
+	ctlAdmit ctlKind = iota
+	ctlFinish
+)
+
+// ctlMsg is a pipeline control message for one query.
+type ctlMsg struct {
+	kind ctlKind
+	sub  *subscription
+}
+
+// factTuple is one fact row in flight, accumulating joined dimension rows
+// and its query bitmap.
+type factTuple struct {
+	fact types.Row
+	dims []types.Row
+	bits *bitvec.Bits
+}
+
+// item is the unit flowing between pipeline stages: control messages that
+// take effect before the page's tuples, the tuples, and control messages
+// that take effect after them (finish markers of queries whose sweep ended
+// with this page).
+type item struct {
+	pre    []ctlMsg
+	tuples []*factTuple
+	post   []ctlMsg
+}
+
+// subscription is one admitted query.
+type subscription struct {
+	q        *plan.StarQuery
+	factPred func(types.Row) bool // nil means all fact rows qualify
+	dimIdx   []int                // operator dim index per q.Dims entry
+
+	id        int // bitmap slot, assigned at admission
+	pagesLeft int // fact pages remaining in this query's sweep
+
+	out      chan *batch.Batch
+	cancelCh chan struct{}
+	canceled atomic.Bool
+	err      error // set before out is closed
+
+	pending *batch.Batch // distributor-side accumulation
+}
+
+// Operator is a running CJOIN pipeline over one fact table and a fixed
+// dimension chain.
+type Operator struct {
+	fact   *storage.Table
+	specs  []DimSpec
+	byName map[string]int
+	cfg    Config
+
+	admitCh   chan *subscription
+	freeCh    chan int
+	closeCh   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	stats struct {
+		admitted, completed, canceled             atomic.Int64
+		pagesScanned, factTuplesIn, droppedAtScan atomic.Int64
+		probes, probeMisses, droppedInChain       atomic.Int64
+		tuplesRouted                              atomic.Int64
+		busyNanos                                 atomic.Int64
+	}
+}
+
+// NewOperator builds the dimension hash tables (one scan of each dimension
+// table) and starts the pipeline goroutines.
+func NewOperator(fact *storage.Table, dims []DimSpec, cfg Config) (*Operator, error) {
+	op := &Operator{
+		fact:    fact,
+		specs:   dims,
+		byName:  make(map[string]int, len(dims)),
+		cfg:     cfg.withDefaults(),
+		admitCh: make(chan *subscription),
+		freeCh:  make(chan int, 1024),
+		closeCh: make(chan struct{}),
+	}
+	for i, d := range dims {
+		if _, dup := op.byName[d.Table.Name]; dup {
+			return nil, fmt.Errorf("cjoin: duplicate dimension %q", d.Table.Name)
+		}
+		op.byName[d.Table.Name] = i
+	}
+
+	stages := make([]*joinStage, len(dims))
+	for i, d := range dims {
+		st, err := newJoinStage(i, d, op)
+		if err != nil {
+			return nil, err
+		}
+		stages[i] = st
+	}
+
+	// Wire the chain: preprocessor → stages → distributor.
+	head := make(chan *item, op.cfg.QueueLen)
+	ch := head
+	for _, st := range stages {
+		next := make(chan *item, op.cfg.QueueLen)
+		st.in, st.out = ch, next
+		ch = next
+	}
+	dist := &distributor{op: op, in: ch}
+
+	op.wg.Add(2 + len(stages))
+	go op.preprocess(head)
+	for _, st := range stages {
+		go st.run()
+	}
+	go dist.run()
+	return op, nil
+}
+
+// Close shuts the pipeline down. Active queries receive ErrClosed.
+func (op *Operator) Close() {
+	op.closeOnce.Do(func() { close(op.closeCh) })
+	op.wg.Wait()
+}
+
+// Stats snapshots the operator counters.
+func (op *Operator) Stats() Stats {
+	return Stats{
+		Admitted:       op.stats.admitted.Load(),
+		Completed:      op.stats.completed.Load(),
+		Canceled:       op.stats.canceled.Load(),
+		PagesScanned:   op.stats.pagesScanned.Load(),
+		FactTuplesIn:   op.stats.factTuplesIn.Load(),
+		DroppedAtScan:  op.stats.droppedAtScan.Load(),
+		Probes:         op.stats.probes.Load(),
+		ProbeMisses:    op.stats.probeMisses.Load(),
+		DroppedInChain: op.stats.droppedInChain.Load(),
+		TuplesRouted:   op.stats.tuplesRouted.Load(),
+		Busy:           time.Duration(op.stats.busyNanos.Load()),
+	}
+}
+
+// addBusy accounts pipeline processing time.
+func (op *Operator) addBusy(d time.Duration) { op.stats.busyNanos.Add(int64(d)) }
+
+// Run admits the star query into the Global Query Plan, streams its joined
+// tuples to emit, and returns when the query's circular sweep completes.
+// It implements engine.StarRunner.
+func (op *Operator) Run(ctx context.Context, q *plan.StarQuery, emit func(*batch.Batch) error) error {
+	sub, err := op.newSubscription(q)
+	if err != nil {
+		return err
+	}
+	select {
+	case op.admitCh <- sub:
+	case <-op.closeCh:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	for {
+		select {
+		case b, ok := <-sub.out:
+			if !ok {
+				return sub.err
+			}
+			if err := emit(b); err != nil {
+				sub.canceled.Store(true)
+				close(sub.cancelCh)
+				// Drain until the pipeline retires the query.
+				for range sub.out {
+				}
+				return err
+			}
+		case <-ctx.Done():
+			sub.canceled.Store(true)
+			close(sub.cancelCh)
+			for range sub.out {
+			}
+			return ctx.Err()
+		}
+	}
+}
+
+// newSubscription validates the query against the operator's chain.
+func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
+	if q.Fact != op.fact {
+		return nil, fmt.Errorf("cjoin: query fact table %q does not match GQP fact table %q",
+			q.Fact.Name, op.fact.Name)
+	}
+	sub := &subscription{
+		q:        q,
+		out:      make(chan *batch.Batch, op.cfg.OutBuffer),
+		cancelCh: make(chan struct{}),
+		dimIdx:   make([]int, len(q.Dims)),
+	}
+	for i, d := range q.Dims {
+		idx, ok := op.byName[d.Table.Name]
+		if !ok {
+			return nil, fmt.Errorf("cjoin: dimension %q is not part of the GQP chain", d.Table.Name)
+		}
+		spec := op.specs[idx]
+		if spec.FactKeyCol != d.FactKeyCol || spec.DimKeyCol != d.DimKeyCol {
+			return nil, fmt.Errorf("cjoin: dimension %q join keys (%d=%d) do not match GQP chain (%d=%d)",
+				d.Table.Name, d.FactKeyCol, d.DimKeyCol, spec.FactKeyCol, spec.DimKeyCol)
+		}
+		sub.dimIdx[i] = idx
+	}
+	if q.FactPred != nil {
+		pred := q.FactPred
+		sub.factPred = func(r types.Row) bool { return pred.Eval(r).Bool() }
+	}
+	return sub, nil
+}
+
+// preprocess is the pipeline head: it owns the circular fact scan, the
+// active query list, and bitmap slot assignment.
+func (op *Operator) preprocess(out chan<- *item) {
+	defer op.wg.Done()
+	defer close(out)
+
+	npages := op.fact.File.NumPages()
+	pos := 0
+	var active []*subscription
+	nextSlot := 0
+	var freeSlots []int
+
+	takeSlot := func() int {
+		// Prefer recycled slots to keep bitmaps small.
+		for {
+			select {
+			case s := <-op.freeCh:
+				freeSlots = append(freeSlots, s)
+				continue
+			default:
+			}
+			break
+		}
+		if n := len(freeSlots); n > 0 {
+			s := freeSlots[n-1]
+			freeSlots = freeSlots[:n-1]
+			return s
+		}
+		s := nextSlot
+		nextSlot++
+		return s
+	}
+
+	admit := func(sub *subscription) ctlMsg {
+		sub.id = takeSlot()
+		sub.pagesLeft = npages
+		active = append(active, sub)
+		op.stats.admitted.Add(1)
+		return ctlMsg{kind: ctlAdmit, sub: sub}
+	}
+
+	send := func(it *item) bool {
+		select {
+		case out <- it:
+			return true
+		case <-op.closeCh:
+			return false
+		}
+	}
+
+	for {
+		var pre []ctlMsg
+		if len(active) == 0 {
+			// Idle: block until a query arrives or the operator closes.
+			select {
+			case sub := <-op.admitCh:
+				pre = append(pre, admit(sub))
+			case <-op.closeCh:
+				return
+			}
+		}
+		// Batch up any further admissions that arrived meanwhile.
+	drainAdmits:
+		for {
+			select {
+			case sub := <-op.admitCh:
+				pre = append(pre, admit(sub))
+			default:
+				break drainAdmits
+			}
+		}
+
+		var tuples []*factTuple
+		if npages > 0 {
+			t0 := time.Now()
+			rows, err := op.fact.File.Page(pos)
+			if err != nil {
+				// A failed page read aborts every active query.
+				for _, sub := range active {
+					sub.err = err
+				}
+				// Deliver errors through finish markers.
+				var post []ctlMsg
+				for _, sub := range active {
+					post = append(post, ctlMsg{kind: ctlFinish, sub: sub})
+				}
+				active = nil
+				send(&item{pre: pre, post: post})
+				continue
+			}
+			pos = (pos + 1) % npages
+			op.stats.pagesScanned.Add(1)
+			op.stats.factTuplesIn.Add(int64(len(rows)))
+
+			tuples = make([]*factTuple, 0, len(rows))
+			for _, r := range rows {
+				bits := bitvec.New(nextSlot)
+				for _, sub := range active {
+					if sub.canceled.Load() {
+						continue
+					}
+					if sub.factPred == nil || sub.factPred(r) {
+						bits.Set(sub.id)
+					}
+				}
+				if !bits.Any() {
+					op.stats.droppedAtScan.Add(1)
+					continue
+				}
+				tuples = append(tuples, &factTuple{
+					fact: r,
+					dims: make([]types.Row, len(op.specs)),
+					bits: bits,
+				})
+			}
+			op.addBusy(time.Since(t0))
+		}
+
+		// Retire queries whose sweep ended with this page (or that canceled).
+		var post []ctlMsg
+		remaining := active[:0]
+		for _, sub := range active {
+			sub.pagesLeft--
+			if sub.pagesLeft <= 0 || sub.canceled.Load() {
+				post = append(post, ctlMsg{kind: ctlFinish, sub: sub})
+			} else {
+				remaining = append(remaining, sub)
+			}
+		}
+		active = remaining
+
+		if !send(&item{pre: pre, tuples: tuples, post: post}) {
+			return
+		}
+	}
+}
+
+// dimEntry is one dimension tuple in a stage hash table.
+type dimEntry struct {
+	row  types.Row
+	bits *bitvec.Bits
+}
+
+// joinStage is one shared hash-join of the chain. All its state is owned by
+// its goroutine; admission/finish markers arriving in stream order make
+// bitmap updates race-free.
+type joinStage struct {
+	idx  int
+	spec DimSpec
+	op   *Operator
+	in   <-chan *item
+	out  chan<- *item
+
+	table map[uint64][]*dimEntry
+	mask  *bitvec.Bits // queries referencing this dimension
+}
+
+const hashSeed uint64 = 14695981039346656037
+
+func newJoinStage(idx int, spec DimSpec, op *Operator) (*joinStage, error) {
+	rows, err := spec.Table.File.AllRows()
+	if err != nil {
+		return nil, fmt.Errorf("cjoin: build hash table for %q: %w", spec.Table.Name, err)
+	}
+	st := &joinStage{
+		idx:   idx,
+		spec:  spec,
+		op:    op,
+		table: make(map[uint64][]*dimEntry, len(rows)),
+		mask:  bitvec.New(64),
+	}
+	for _, r := range rows {
+		k := r[spec.DimKeyCol]
+		if k.IsNull() {
+			continue
+		}
+		h := k.Hash(hashSeed)
+		st.table[h] = append(st.table[h], &dimEntry{row: r, bits: bitvec.New(64)})
+	}
+	return st, nil
+}
+
+// admitQuery installs the query's bits in this stage: entry bitmaps for
+// every dimension tuple satisfying its predicate, and the stage mask.
+func (st *joinStage) admitQuery(sub *subscription) {
+	var pred func(types.Row) bool
+	references := false
+	for i, d := range sub.q.Dims {
+		if sub.dimIdx[i] == st.idx {
+			references = true
+			if d.Pred != nil {
+				p := d.Pred
+				pred = func(r types.Row) bool { return p.Eval(r).Bool() }
+			}
+			break
+		}
+	}
+	if !references {
+		return // bits outside the mask pass through unchanged
+	}
+	st.mask.Set(sub.id)
+	for _, chain := range st.table {
+		for _, e := range chain {
+			if pred == nil || pred(e.row) {
+				e.bits.Set(sub.id)
+			}
+		}
+	}
+}
+
+// finishQuery removes the query's bits from this stage.
+func (st *joinStage) finishQuery(sub *subscription) {
+	if !st.mask.Get(sub.id) {
+		return
+	}
+	st.mask.Clear(sub.id)
+	for _, chain := range st.table {
+		for _, e := range chain {
+			e.bits.Clear(sub.id)
+		}
+	}
+}
+
+// run processes items until the upstream closes.
+func (st *joinStage) run() {
+	defer st.op.wg.Done()
+	defer close(st.out)
+	for it := range st.in {
+		t0 := time.Now()
+		for _, c := range it.pre {
+			if c.kind == ctlAdmit {
+				st.admitQuery(c.sub)
+			}
+		}
+		kept := it.tuples[:0]
+		for _, t := range it.tuples {
+			k := t.fact[st.spec.FactKeyCol]
+			st.op.stats.probes.Add(1)
+			var hit *dimEntry
+			if !k.IsNull() {
+				for _, e := range st.table[k.Hash(hashSeed)] {
+					if e.row[st.spec.DimKeyCol].Equal(k) {
+						hit = e
+						break
+					}
+				}
+			}
+			if hit != nil {
+				t.dims[st.idx] = hit.row
+				t.bits.AndMasked(hit.bits, st.mask)
+			} else {
+				st.op.stats.probeMisses.Add(1)
+				t.bits.AndNot(st.mask)
+			}
+			if t.bits.Any() {
+				kept = append(kept, t)
+			} else {
+				st.op.stats.droppedInChain.Add(1)
+			}
+		}
+		it.tuples = kept
+		for _, c := range it.post {
+			if c.kind == ctlFinish {
+				st.finishQuery(c.sub)
+			}
+		}
+		st.op.addBusy(time.Since(t0))
+		select {
+		case st.out <- it:
+		case <-st.op.closeCh:
+			return
+		}
+	}
+}
+
+// distributor fans joined tuples out to the queries named in their bitmaps
+// and retires queries when their finish markers arrive.
+type distributor struct {
+	op   *Operator
+	in   <-chan *item
+	subs map[int]*subscription
+}
+
+// deliver flushes sub's pending batch to its output channel.
+func (d *distributor) deliver(sub *subscription) {
+	if sub.pending == nil || sub.pending.Len() == 0 {
+		return
+	}
+	b := sub.pending
+	sub.pending = nil
+	select {
+	case sub.out <- b:
+	case <-sub.cancelCh:
+	case <-d.op.closeCh:
+	}
+}
+
+// route appends the joined output row for sub.
+func (d *distributor) route(sub *subscription, t *factTuple) {
+	if sub.canceled.Load() {
+		return
+	}
+	width := len(sub.q.FactCols)
+	for _, dj := range sub.q.Dims {
+		width += len(dj.PayloadCols)
+	}
+	row := make(types.Row, 0, width)
+	for _, c := range sub.q.FactCols {
+		row = append(row, t.fact[c])
+	}
+	for i, dj := range sub.q.Dims {
+		dimRow := t.dims[sub.dimIdx[i]]
+		for _, c := range dj.PayloadCols {
+			row = append(row, dimRow[c])
+		}
+	}
+	if sub.pending == nil {
+		sub.pending = batch.New(d.op.cfg.BatchSize)
+	}
+	sub.pending.Append(row)
+	d.op.stats.tuplesRouted.Add(1)
+	if sub.pending.Full() {
+		d.deliver(sub)
+	}
+}
+
+// finish retires a query: flush, close, recycle its bitmap slot.
+func (d *distributor) finish(sub *subscription) {
+	d.deliver(sub)
+	if sub.canceled.Load() {
+		d.op.stats.canceled.Add(1)
+	} else if sub.err == nil {
+		d.op.stats.completed.Add(1)
+	}
+	close(sub.out)
+	delete(d.subs, sub.id)
+	select {
+	case d.op.freeCh <- sub.id:
+	default: // free list full; the slot is simply not reused
+	}
+}
+
+// run processes items until the upstream closes.
+func (d *distributor) run() {
+	defer d.op.wg.Done()
+	d.subs = make(map[int]*subscription)
+	for it := range d.in {
+		t0 := time.Now()
+		for _, c := range it.pre {
+			if c.kind == ctlAdmit {
+				d.subs[c.sub.id] = c.sub
+			}
+		}
+		for _, t := range it.tuples {
+			t.bits.ForEach(func(id int) {
+				if sub, ok := d.subs[id]; ok {
+					d.route(sub, t)
+				}
+			})
+		}
+		for _, c := range it.post {
+			if c.kind == ctlFinish {
+				d.finish(c.sub)
+			}
+		}
+		d.op.addBusy(time.Since(t0))
+	}
+	// Pipeline shut down: fail whatever is still active.
+	for _, sub := range d.subs {
+		sub.err = ErrClosed
+		d.deliver(sub)
+		close(sub.out)
+	}
+}

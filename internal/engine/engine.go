@@ -1,0 +1,270 @@
+// Package engine implements the QPipe execution engine: every relational
+// operator is a stage, every query plan is decomposed into packets wired by
+// page-based buffers, and Simultaneous Pipelining (SP) detects common
+// sub-plans among in-flight packets at run time, evaluating one and serving
+// the rest from its output — push-based over FIFOs (the original model) or
+// pull-based over Shared Pages Lists.
+package engine
+
+import (
+	"context"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// StarRunner evaluates star queries on a shared Global Query Plan (the CJOIN
+// operator implements this; the engine stays decoupled from its internals).
+type StarRunner interface {
+	// Run evaluates q, invoking emit for every batch of joined tuples, and
+	// returns when the query completed or failed. emit is called from a
+	// single goroutine.
+	Run(ctx context.Context, q *plan.StarQuery, emit func(*batch.Batch) error) error
+}
+
+// Config tunes the engine.
+type Config struct {
+	// BatchSize is the number of rows per exchanged batch (page).
+	BatchSize int
+	// FIFOCapacity is the per-FIFO batch capacity in the push model.
+	FIFOCapacity int
+	// SPLMaxPages bounds unreclaimed pages per Shared Pages List.
+	SPLMaxPages int
+
+	// SP master-switches Simultaneous Pipelining.
+	SP bool
+	// SPStages selects the stages allowed to share; nil means every stage
+	// (when SP is true). Keys are plan kinds.
+	SPStages map[plan.Kind]bool
+	// Model selects push-based (FIFO copy) or pull-based (SPL) sharing.
+	Model SPModel
+
+	// Star runs CJoin nodes on the shared Global Query Plan; nil disables
+	// the CJOIN stage.
+	Star StarRunner
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.BatchSize <= 0 {
+		out.BatchSize = batch.DefaultCapacity
+	}
+	if out.FIFOCapacity <= 0 {
+		out.FIFOCapacity = 8
+	}
+	if out.SPLMaxPages <= 0 {
+		out.SPLMaxPages = 64
+	}
+	return out
+}
+
+// Engine executes query plans over a catalog.
+type Engine struct {
+	cat    *storage.Catalog
+	cfg    Config
+	stages [plan.KindCJoin + 1]*Stage
+}
+
+// New creates an engine over the catalog.
+func New(cat *storage.Catalog, cfg Config) *Engine {
+	e := &Engine{cat: cat, cfg: cfg.withDefaults()}
+	for k := plan.KindScan; k <= plan.KindCJoin; k++ {
+		sp := e.cfg.SP && (e.cfg.SPStages == nil || e.cfg.SPStages[k])
+		e.stages[k] = newStage(k, sp)
+	}
+	return e
+}
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *storage.Catalog { return e.cat }
+
+// Config returns the engine configuration (defaults resolved).
+func (e *Engine) Config() Config { return e.cfg }
+
+// stage returns the stage running operators of kind k.
+func (e *Engine) stage(k plan.Kind) *Stage { return e.stages[k] }
+
+// Result is a fully materialized query result.
+type Result struct {
+	Schema *types.Schema
+	Rows   []types.Row
+}
+
+// closedGate is a pre-opened start gate for individually submitted queries.
+var closedGate = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Execute runs one plan to completion and materializes its result.
+func (e *Engine) Execute(ctx context.Context, root plan.Node) (*Result, error) {
+	r, err := e.dispatch(ctx, root, closedGate)
+	if err != nil {
+		return nil, err
+	}
+	return drain(ctx, root, r)
+}
+
+// ExecuteBatch dispatches all plans before any packet starts producing, then
+// runs them concurrently. This models clients coordinating to submit their
+// queries in batches, which maximizes SP opportunities (Scenario IV) because
+// every common sub-plan is registered before any sharing window can close.
+func (e *Engine) ExecuteBatch(ctx context.Context, roots []plan.Node) ([]*Result, error) {
+	gate := make(chan struct{})
+	readers := make([]Reader, len(roots))
+	for i, root := range roots {
+		r, err := e.dispatch(ctx, root, gate)
+		if err != nil {
+			close(gate)
+			for _, prev := range readers[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		readers[i] = r
+	}
+	close(gate)
+
+	results := make([]*Result, len(roots))
+	errs := make([]error, len(roots))
+	var wg sync.WaitGroup
+	for i := range roots {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = drain(ctx, roots[i], readers[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// drain materializes a root reader.
+func drain(ctx context.Context, root plan.Node, r Reader) (*Result, error) {
+	defer r.Close()
+	res := &Result{Schema: root.Schema()}
+	for {
+		b, err := r.Next(ctx)
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, b.Rows...)
+	}
+}
+
+// dispatch instantiates (or SP-shares) the packet for node and returns the
+// reader delivering its output. Packets wait on gate before producing.
+func (e *Engine) dispatch(ctx context.Context, node plan.Node, gate <-chan struct{}) (Reader, error) {
+	st := e.stage(node.Kind())
+	sig := node.Signature()
+
+	var primary Reader
+	mk := func() *Packet {
+		p, r := newPacket(node, st, sig, e.cfg.Model, e.cfg.FIFOCapacity, e.cfg.SPLMaxPages)
+		primary = r
+		return p
+	}
+
+	host, fresh := st.lookupOrRegister(sig, mk)
+	if host != nil {
+		if r, ok := host.addConsumer(); ok {
+			st.spAttached.Add(1)
+			return r, nil
+		}
+		// Window closed: run our own packet and take over the slot so later
+		// arrivals can share with us.
+		st.spMissed.Add(1)
+		fresh = mk()
+		st.register(sig, fresh)
+	}
+
+	inputs := make([]Reader, 0, 2)
+	for _, child := range node.Children() {
+		cr, err := e.dispatch(ctx, child, gate)
+		if err != nil {
+			fresh.close(err)
+			st.unregister(sig, fresh)
+			for _, in := range inputs {
+				in.Close()
+			}
+			return nil, err
+		}
+		inputs = append(inputs, cr)
+	}
+
+	go e.run(ctx, fresh, inputs, gate)
+	return primary, nil
+}
+
+// run executes one packet to completion.
+func (e *Engine) run(ctx context.Context, p *Packet, inputs []Reader, gate <-chan struct{}) {
+	st := p.stage
+	st.active.Add(1)
+	defer st.active.Add(-1)
+
+	// Pull-model readers block on a condition variable, so deliver context
+	// cancellation by closing the packet's list.
+	var stopAfter func() bool
+	if p.model == SPPull {
+		stopAfter = context.AfterFunc(ctx, func() { p.close(ctx.Err()) })
+	}
+
+	cleanup := func(err error) {
+		p.close(err)
+		st.unregister(p.sig, p)
+		for _, in := range inputs {
+			in.Close()
+		}
+		if stopAfter != nil {
+			stopAfter()
+		}
+	}
+
+	select {
+	case <-gate:
+	case <-ctx.Done():
+		cleanup(ctx.Err())
+		return
+	}
+
+	st.executed.Add(1)
+	err := e.runOperator(ctx, p, inputs, p.writer())
+	cleanup(err)
+}
+
+// EngineStats snapshots every stage's counters plus engine-wide gauges.
+type EngineStats struct {
+	Stages []StageStats
+	// Busy is total operator processing time across stages; Busy divided by
+	// (wall time x GOMAXPROCS) is the CPU-utilisation proxy reported by the
+	// Scenario I harness.
+	Busy time.Duration
+}
+
+// Stats snapshots engine counters.
+func (e *Engine) Stats() EngineStats {
+	var out EngineStats
+	for _, st := range e.stages {
+		s := st.Stats()
+		out.Stages = append(out.Stages, s)
+		out.Busy += s.Busy
+	}
+	return out
+}
+
+// StageStatsFor returns one stage's counters.
+func (e *Engine) StageStatsFor(k plan.Kind) StageStats { return e.stage(k).Stats() }

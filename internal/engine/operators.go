@@ -1,0 +1,420 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// hashSeed seeds join/group hash chains (FNV-1a offset basis).
+const hashSeed uint64 = 14695981039346656037
+
+// runOperator executes the packet's operator to completion, reading inputs
+// and writing w. A nil return is a normal end of stream.
+func (e *Engine) runOperator(ctx context.Context, p *Packet, inputs []Reader, w Writer) error {
+	switch n := p.node.(type) {
+	case *plan.Scan:
+		return e.opScan(ctx, n, w, p.stage)
+	case *plan.Filter:
+		return e.opFilter(ctx, n, inputs[0], w, p.stage)
+	case *plan.Project:
+		return e.opProject(ctx, n, inputs[0], w, p.stage)
+	case *plan.HashJoin:
+		return e.opHashJoin(ctx, n, inputs[0], inputs[1], w, p.stage)
+	case *plan.Aggregate:
+		return e.opAggregate(ctx, n, inputs[0], w, p.stage)
+	case *plan.Sort:
+		return e.opSort(ctx, n, inputs[0], w, p.stage)
+	case *plan.Limit:
+		return e.opLimit(ctx, n, inputs[0], w, p.stage)
+	case *plan.CJoin:
+		return e.opCJoin(ctx, n, w, p.stage)
+	default:
+		return fmt.Errorf("engine: no operator for %T", p.node)
+	}
+}
+
+// opScan delivers every row of the table via a circular shared scan, one
+// batch per storage page, applying any pushed-down predicate inside the
+// stage (as QPipe's tscan does).
+func (e *Engine) opScan(ctx context.Context, n *plan.Scan, w Writer, st *Stage) error {
+	cur := n.Table.Attach()
+	defer cur.Close()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		rows, ok, err := cur.NextRows()
+		if err != nil {
+			st.addBusy(time.Since(t0))
+			return err
+		}
+		if !ok {
+			st.addBusy(time.Since(t0))
+			return nil
+		}
+		if n.Pred != nil {
+			kept := rows[:0]
+			for _, r := range rows {
+				if n.Pred.Eval(r).Bool() {
+					kept = append(kept, r)
+				}
+			}
+			rows = kept
+		}
+		st.addBusy(time.Since(t0))
+		if len(rows) == 0 {
+			continue
+		}
+		if err := w.Put(ctx, &batch.Batch{Rows: rows}); err != nil {
+			return err
+		}
+	}
+}
+
+// opLimit forwards the first N rows, then detaches from its input, which
+// cancels the upstream sub-plan (unless other queries share it).
+func (e *Engine) opLimit(ctx context.Context, n *plan.Limit, in Reader, w Writer, st *Stage) error {
+	remaining := n.N
+	for remaining > 0 {
+		b, err := in.Next(ctx)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		if b.Len() > remaining {
+			b = &batch.Batch{Rows: b.Rows[:remaining]}
+		}
+		remaining -= b.Len()
+		st.addBusy(time.Since(t0))
+		if err := w.Put(ctx, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitter accumulates rows into batches of the configured size and flushes
+// them downstream.
+type emitter struct {
+	w    Writer
+	size int
+	cur  *batch.Batch
+}
+
+func newEmitter(w Writer, size int) *emitter {
+	return &emitter{w: w, size: size, cur: batch.New(size)}
+}
+
+func (em *emitter) add(ctx context.Context, r types.Row) error {
+	em.cur.Append(r)
+	if em.cur.Len() >= em.size {
+		return em.flush(ctx)
+	}
+	return nil
+}
+
+func (em *emitter) flush(ctx context.Context) error {
+	if em.cur.Len() == 0 {
+		return nil
+	}
+	b := em.cur
+	em.cur = batch.New(em.size)
+	return em.w.Put(ctx, b)
+}
+
+// opFilter keeps rows satisfying the predicate.
+func (e *Engine) opFilter(ctx context.Context, n *plan.Filter, in Reader, w Writer, st *Stage) error {
+	em := newEmitter(w, e.cfg.BatchSize)
+	for {
+		b, err := in.Next(ctx)
+		if err == io.EOF {
+			return em.flush(ctx)
+		}
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		var kept []types.Row
+		for _, r := range b.Rows {
+			if n.Pred.Eval(r).Bool() {
+				kept = append(kept, r)
+			}
+		}
+		st.addBusy(time.Since(t0))
+		for _, r := range kept {
+			if err := em.add(ctx, r); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// opProject computes the output expressions for every row.
+func (e *Engine) opProject(ctx context.Context, n *plan.Project, in Reader, w Writer, st *Stage) error {
+	em := newEmitter(w, e.cfg.BatchSize)
+	for {
+		b, err := in.Next(ctx)
+		if err == io.EOF {
+			return em.flush(ctx)
+		}
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		outRows := make([]types.Row, len(b.Rows))
+		for i, r := range b.Rows {
+			out := make(types.Row, len(n.Cols))
+			for j, c := range n.Cols {
+				out[j] = c.Expr.Eval(r)
+			}
+			outRows[i] = out
+		}
+		st.addBusy(time.Since(t0))
+		for _, r := range outRows {
+			if err := em.add(ctx, r); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// opHashJoin builds a hash table over the right input and streams the left
+// input through it (single-column equi-join).
+func (e *Engine) opHashJoin(ctx context.Context, n *plan.HashJoin, left, right Reader, w Writer, st *Stage) error {
+	// Build phase.
+	ht := make(map[uint64][]types.Row)
+	for {
+		b, err := right.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for _, r := range b.Rows {
+			k := r[n.RightCol]
+			if k.IsNull() {
+				continue
+			}
+			h := k.Hash(hashSeed)
+			ht[h] = append(ht[h], r)
+		}
+		st.addBusy(time.Since(t0))
+	}
+	// Probe phase.
+	em := newEmitter(w, e.cfg.BatchSize)
+	for {
+		b, err := left.Next(ctx)
+		if err == io.EOF {
+			return em.flush(ctx)
+		}
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		var joined []types.Row
+		for _, l := range b.Rows {
+			k := l[n.LeftCol]
+			if k.IsNull() {
+				continue
+			}
+			for _, r := range ht[k.Hash(hashSeed)] {
+				if r[n.RightCol].Equal(k) {
+					joined = append(joined, l.Concat(r))
+				}
+			}
+		}
+		st.addBusy(time.Since(t0))
+		for _, r := range joined {
+			if err := em.add(ctx, r); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// aggAcc accumulates one aggregate of one group.
+type aggAcc struct {
+	count int64
+	sum   float64
+	min   types.Datum
+	max   types.Datum
+	seen  bool
+}
+
+func (a *aggAcc) update(spec plan.AggSpec, r types.Row) {
+	if spec.Func == plan.AggCount && spec.Arg == nil {
+		a.count++
+		return
+	}
+	v := spec.Arg.Eval(r)
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	switch spec.Func {
+	case plan.AggSum, plan.AggAvg:
+		a.sum += v.Float()
+	case plan.AggMin:
+		if !a.seen || v.Compare(a.min) < 0 {
+			a.min = v
+		}
+	case plan.AggMax:
+		if !a.seen || v.Compare(a.max) > 0 {
+			a.max = v
+		}
+	}
+	a.seen = true
+}
+
+func (a *aggAcc) result(spec plan.AggSpec) types.Datum {
+	switch spec.Func {
+	case plan.AggCount:
+		return types.NewInt(a.count)
+	case plan.AggSum:
+		if a.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat(a.sum)
+	case plan.AggAvg:
+		if a.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat(a.sum / float64(a.count))
+	case plan.AggMin:
+		if !a.seen {
+			return types.Null
+		}
+		return a.min
+	default:
+		if !a.seen {
+			return types.Null
+		}
+		return a.max
+	}
+}
+
+// aggGroup is one group's key and accumulators.
+type aggGroup struct {
+	key  types.Row
+	accs []aggAcc
+}
+
+// opAggregate is a hash group-by. Output group order is unspecified; plans
+// that need an order add a Sort node above.
+func (e *Engine) opAggregate(ctx context.Context, n *plan.Aggregate, in Reader, w Writer, st *Stage) error {
+	groups := make(map[uint64][]*aggGroup)
+	ngroups := 0
+	for {
+		b, err := in.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for _, r := range b.Rows {
+			key := make(types.Row, len(n.GroupBy))
+			for i, g := range n.GroupBy {
+				key[i] = g.Expr.Eval(r)
+			}
+			h := key.Hash(hashSeed)
+			var grp *aggGroup
+			for _, cand := range groups[h] {
+				if cand.key.Equal(key) {
+					grp = cand
+					break
+				}
+			}
+			if grp == nil {
+				grp = &aggGroup{key: key, accs: make([]aggAcc, len(n.Aggs))}
+				groups[h] = append(groups[h], grp)
+				ngroups++
+			}
+			for i := range n.Aggs {
+				grp.accs[i].update(n.Aggs[i], r)
+			}
+		}
+		st.addBusy(time.Since(t0))
+	}
+	// A global aggregate over empty input still yields one row.
+	if ngroups == 0 && len(n.GroupBy) == 0 {
+		grp := &aggGroup{accs: make([]aggAcc, len(n.Aggs))}
+		groups[0] = []*aggGroup{grp}
+	}
+	em := newEmitter(w, e.cfg.BatchSize)
+	for _, chain := range groups {
+		for _, grp := range chain {
+			out := make(types.Row, 0, len(n.GroupBy)+len(n.Aggs))
+			out = append(out, grp.key...)
+			for i := range n.Aggs {
+				out = append(out, grp.accs[i].result(n.Aggs[i]))
+			}
+			if err := em.add(ctx, out); err != nil {
+				return err
+			}
+		}
+	}
+	return em.flush(ctx)
+}
+
+// opSort materializes the input and emits it ordered by the sort keys.
+func (e *Engine) opSort(ctx context.Context, n *plan.Sort, in Reader, w Writer, st *Stage) error {
+	var rows []types.Row
+	for {
+		b, err := in.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		rows = append(rows, b.Rows...)
+	}
+	t0 := time.Now()
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range n.Keys {
+			c := rows[i][k.Col].Compare(rows[j][k.Col])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	st.addBusy(time.Since(t0))
+	em := newEmitter(w, e.cfg.BatchSize)
+	for _, r := range rows {
+		if err := em.add(ctx, r); err != nil {
+			return err
+		}
+	}
+	return em.flush(ctx)
+}
+
+// opCJoin hands the star query to the shared Global Query Plan runner and
+// forwards its joined batches downstream.
+func (e *Engine) opCJoin(ctx context.Context, n *plan.CJoin, w Writer, st *Stage) error {
+	if e.cfg.Star == nil {
+		return fmt.Errorf("engine: CJoin node but no StarRunner configured")
+	}
+	return e.cfg.Star.Run(ctx, n.Star, func(b *batch.Batch) error {
+		return w.Put(ctx, b)
+	})
+}

@@ -1,0 +1,166 @@
+package plan
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// DimJoin describes one dimension of a star query: the fact foreign key, the
+// dimension primary key, an optional dimension selection, and the dimension
+// columns carried to the output.
+type DimJoin struct {
+	Table       *storage.Table
+	FactKeyCol  int // FK position in the fact schema
+	DimKeyCol   int // PK position in the dimension schema
+	Pred        expr.Expr
+	PayloadCols []int
+}
+
+// StarQuery describes the join graph of a star query: a fact table with an
+// optional selection and a chain of dimension joins. It is the unit of
+// admission into the CJOIN Global Query Plan, and can equally be expanded
+// into a query-centric chain of hash-joins (QueryCentric) — the harness
+// flips between the two to compare SP against GQP on identical queries.
+type StarQuery struct {
+	Fact     *storage.Table
+	FactPred expr.Expr
+	FactCols []int // fact columns carried to the output
+	Dims     []DimJoin
+}
+
+// OutputSchema is the schema of the joined tuples the star query produces:
+// the selected fact columns followed by each dimension's payload columns, in
+// declaration order. CJOIN's distributor and the query-centric expansion
+// both produce exactly this layout, so upper plan fragments (aggregations)
+// are oblivious to which execution strategy ran below them.
+func (q *StarQuery) OutputSchema() *types.Schema {
+	cols := make([]types.Column, 0, len(q.FactCols)+4)
+	for _, i := range q.FactCols {
+		cols = append(cols, q.Fact.Schema.Cols[i])
+	}
+	for _, d := range q.Dims {
+		for _, i := range d.PayloadCols {
+			cols = append(cols, d.Table.Schema.Cols[i])
+		}
+	}
+	return types.NewSchema(cols...)
+}
+
+// Signature canonically encodes the whole star query.
+func (q *StarQuery) Signature() string {
+	var sb strings.Builder
+	sb.WriteString("star(")
+	sb.WriteString(q.Fact.Name)
+	sb.WriteByte(',')
+	if q.FactPred != nil {
+		sb.WriteString(q.FactPred.Signature())
+	}
+	sb.WriteString(",[")
+	for i, c := range q.FactCols {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(strconv.Itoa(c))
+	}
+	sb.WriteByte(']')
+	for _, d := range q.Dims {
+		sb.WriteString(",dim(")
+		sb.WriteString(d.Table.Name)
+		sb.WriteByte(',')
+		sb.WriteString(strconv.Itoa(d.FactKeyCol))
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Itoa(d.DimKeyCol))
+		sb.WriteByte(',')
+		if d.Pred != nil {
+			sb.WriteString(d.Pred.Signature())
+		}
+		sb.WriteString(",[")
+		for i, c := range d.PayloadCols {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			sb.WriteString(strconv.Itoa(c))
+		}
+		sb.WriteString("])")
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// CJoin is the plan node that evaluates a star query on the shared CJOIN
+// stage (the Global Query Plan). Its output schema is StarQuery.OutputSchema.
+type CJoin struct {
+	Star   *StarQuery
+	schema *types.Schema
+}
+
+// NewCJoin wraps a star query for evaluation by the CJOIN stage.
+func NewCJoin(q *StarQuery) *CJoin { return &CJoin{Star: q, schema: q.OutputSchema()} }
+
+// Kind returns KindCJoin.
+func (c *CJoin) Kind() Kind { return KindCJoin }
+
+// Schema is the star output schema.
+func (c *CJoin) Schema() *types.Schema { return c.schema }
+
+// Children returns nil: the scan and joins happen inside the shared pipeline.
+func (c *CJoin) Children() []Node { return nil }
+
+// Signature encodes the star query; identical star sub-plans therefore SP-
+// share a single CJOIN packet (Figure 2).
+func (c *CJoin) Signature() string { return "cjoin(" + c.Star.Signature() + ")" }
+
+// QueryCentric expands the star query into the equivalent query-centric
+// plan: scan(fact) → filter → chain of hash-joins against filtered dimension
+// scans → projection to OutputSchema's layout.
+func (q *StarQuery) QueryCentric() Node {
+	var n Node = NewScan(q.Fact)
+	if q.FactPred != nil {
+		n = NewFilter(n, q.FactPred)
+	}
+	// Track where each needed output column lives as joins widen the row.
+	factWidth := q.Fact.Schema.Len()
+	type payloadRef struct{ pos int }
+	var payloadPos [][]payloadRef
+	offset := factWidth
+	for _, d := range q.Dims {
+		var dn Node = NewScan(d.Table)
+		if d.Pred != nil {
+			dn = NewFilter(dn, d.Pred)
+		}
+		n = NewHashJoin(n, dn, d.FactKeyCol, d.DimKeyCol)
+		refs := make([]payloadRef, len(d.PayloadCols))
+		for i, pc := range d.PayloadCols {
+			refs[i] = payloadRef{pos: offset + pc}
+		}
+		payloadPos = append(payloadPos, refs)
+		offset += d.Table.Schema.Len()
+	}
+	// Final projection to the star output layout.
+	out := q.OutputSchema()
+	cols := make([]ProjCol, 0, out.Len())
+	ci := 0
+	for _, fc := range q.FactCols {
+		cols = append(cols, ProjCol{
+			Name: out.Cols[ci].Name,
+			Kind: out.Cols[ci].Kind,
+			Expr: expr.C(fc, out.Cols[ci].Name),
+		})
+		ci++
+	}
+	for di := range q.Dims {
+		for _, ref := range payloadPos[di] {
+			cols = append(cols, ProjCol{
+				Name: out.Cols[ci].Name,
+				Kind: out.Cols[ci].Kind,
+				Expr: expr.C(ref.pos, out.Cols[ci].Name),
+			})
+			ci++
+		}
+	}
+	return NewProject(n, cols)
+}

@@ -1,0 +1,204 @@
+// Package spl implements the Shared Pages List, the data structure that
+// turns Simultaneous Pipelining from push-based to pull-based (§3 of the
+// paper, introduced in the authors' VLDB 2013 work).
+//
+// In the push-based model the single producer copies every result page into
+// every consumer's FIFO — a serialization point whose cost grows with the
+// number of consumers. The SPL instead lets the producer append each
+// immutable page exactly once; consumers pull at their own pace with only a
+// short critical section, so adding consumers adds no work to the producer.
+//
+// Pages are released once every attached consumer has read past them
+// (watermark reclamation), and the producer blocks when the list holds
+// MaxPages unread pages, which bounds memory and provides backpressure.
+package spl
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"repro/internal/batch"
+)
+
+// DefaultMaxPages bounds the number of unreclaimed pages held by a list.
+const DefaultMaxPages = 64
+
+// ErrNoConsumers is returned by Append when every consumer has detached:
+// the producer's work has no audience and it should abort.
+var ErrNoConsumers = errors.New("spl: all consumers detached")
+
+// ErrTooLate is returned by NewReader when early pages have already been
+// reclaimed, so a late-attaching consumer could no longer observe the full
+// stream. The SP registry treats this as a closed sharing window.
+var ErrTooLate = errors.New("spl: early pages already reclaimed")
+
+// List is a single-producer, multi-consumer shared pages list.
+type List struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	pages    []*batch.Batch // pages[i] is logical page base+i
+	base     int            // logical index of pages[0]
+	appended int            // total pages ever appended
+	maxPages int
+
+	closed   bool
+	err      error
+	readers  map[*Reader]struct{}
+	attached int // total readers ever attached
+}
+
+// New creates a list; maxPages <= 0 selects DefaultMaxPages.
+func New(maxPages int) *List {
+	if maxPages <= 0 {
+		maxPages = DefaultMaxPages
+	}
+	l := &List{maxPages: maxPages, readers: make(map[*Reader]struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Reader is one consumer's cursor into the list.
+type Reader struct {
+	list   *List
+	next   int // logical index of the next page to read
+	closed bool
+}
+
+// NewReader attaches a consumer that will observe the stream from the first
+// page. It fails with ErrTooLate once page 0 has been reclaimed (i.e. when
+// some consumer has already made progress and memory was released).
+func (l *List) NewReader() (*Reader, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.base > 0 {
+		return nil, ErrTooLate
+	}
+	r := &Reader{list: l}
+	l.readers[r] = struct{}{}
+	l.attached++
+	return r, nil
+}
+
+// Append publishes a page to all consumers. The page must not be modified
+// afterwards. Append blocks while maxPages unreclaimed pages are pending;
+// it returns ErrNoConsumers when every consumer has detached.
+func (l *List) Append(b *batch.Batch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.closed {
+			return errors.New("spl: append after close")
+		}
+		if l.attached > 0 && len(l.readers) == 0 {
+			return ErrNoConsumers
+		}
+		if len(l.pages) < l.maxPages {
+			break
+		}
+		l.cond.Wait()
+	}
+	l.pages = append(l.pages, b)
+	l.appended++
+	l.cond.Broadcast()
+	return nil
+}
+
+// Close ends the stream. A nil err is a normal end-of-stream; a non-nil err
+// is delivered to every consumer in place of further pages.
+func (l *List) Close(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.err = err
+	l.cond.Broadcast()
+}
+
+// Appended returns the total number of pages ever appended (metrics).
+func (l *List) Appended() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Retained returns the number of unreclaimed pages (testing/metrics).
+func (l *List) Retained() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pages)
+}
+
+// Readers returns the number of currently attached consumers.
+func (l *List) Readers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.readers)
+}
+
+// reclaimLocked drops pages every attached reader has consumed and wakes a
+// blocked producer.
+func (l *List) reclaimLocked() {
+	min := l.appended
+	for r := range l.readers {
+		if r.next < min {
+			min = r.next
+		}
+	}
+	if min > l.base {
+		drop := min - l.base
+		// Release references so the batches can be collected even while the
+		// slice header is reused.
+		for i := 0; i < drop; i++ {
+			l.pages[i] = nil
+		}
+		l.pages = l.pages[drop:]
+		l.base = min
+		l.cond.Broadcast()
+	}
+}
+
+// Next returns the consumer's next page. It blocks until a page is
+// available, the stream ends (io.EOF), or the producer failed (its error).
+func (r *Reader) Next() (*batch.Batch, error) {
+	l := r.list
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if r.closed {
+			return nil, errors.New("spl: read after reader close")
+		}
+		if l.err != nil {
+			return nil, l.err
+		}
+		if r.next < l.appended {
+			b := l.pages[r.next-l.base]
+			r.next++
+			l.reclaimLocked()
+			return b, nil
+		}
+		if l.closed {
+			return nil, io.EOF
+		}
+		l.cond.Wait()
+	}
+}
+
+// Close detaches the consumer. Remaining pages are reclaimed as if the
+// consumer had read them; if it was the last consumer the producer's next
+// Append fails with ErrNoConsumers.
+func (r *Reader) Close() {
+	l := r.list
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	delete(l.readers, r)
+	l.reclaimLocked()
+	l.cond.Broadcast()
+}

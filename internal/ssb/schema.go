@@ -1,0 +1,171 @@
+// Package ssb implements the Star Schema Benchmark substrate used by
+// Scenarios II-IV: the star schema (lineorder fact plus customer, supplier,
+// part and date dimensions), a scale-factor-driven data generator with
+// SSB-like value distributions, the 13 SSB query templates with parameter
+// randomization, and the parameterized selectivity/plan-diversity controls
+// the demo's GUI exposes.
+package ssb
+
+import "repro/internal/types"
+
+// Lineorder column positions.
+const (
+	LOOrderKey = iota
+	LOLineNumber
+	LOCustKey
+	LOPartKey
+	LOSuppKey
+	LOOrderDate
+	LOQuantity
+	LOExtendedPrice
+	LODiscount
+	LORevenue
+	LOSupplyCost
+	LOTax
+)
+
+// Customer column positions.
+const (
+	CCustKey = iota
+	CCity
+	CNation
+	CRegion
+	CMktSegment
+)
+
+// Supplier column positions.
+const (
+	SSuppKey = iota
+	SCity
+	SNation
+	SRegion
+)
+
+// Part column positions.
+const (
+	PPartKey = iota
+	PMfgr
+	PCategory
+	PBrand1
+	PColor
+	PSize
+)
+
+// Date column positions.
+const (
+	DDateKey = iota
+	DDayOfWeek
+	DMonth
+	DYear
+	DYearMonthNum
+	DYearMonth
+	DWeekNumInYear
+)
+
+// LineorderSchema returns the fact table schema.
+func LineorderSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "lo_orderkey", Kind: types.KindInt},
+		types.Column{Name: "lo_linenumber", Kind: types.KindInt},
+		types.Column{Name: "lo_custkey", Kind: types.KindInt},
+		types.Column{Name: "lo_partkey", Kind: types.KindInt},
+		types.Column{Name: "lo_suppkey", Kind: types.KindInt},
+		types.Column{Name: "lo_orderdate", Kind: types.KindInt},
+		types.Column{Name: "lo_quantity", Kind: types.KindInt},
+		types.Column{Name: "lo_extendedprice", Kind: types.KindInt},
+		types.Column{Name: "lo_discount", Kind: types.KindInt},
+		types.Column{Name: "lo_revenue", Kind: types.KindInt},
+		types.Column{Name: "lo_supplycost", Kind: types.KindInt},
+		types.Column{Name: "lo_tax", Kind: types.KindInt},
+	)
+}
+
+// CustomerSchema returns the customer dimension schema.
+func CustomerSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "c_custkey", Kind: types.KindInt},
+		types.Column{Name: "c_city", Kind: types.KindString},
+		types.Column{Name: "c_nation", Kind: types.KindString},
+		types.Column{Name: "c_region", Kind: types.KindString},
+		types.Column{Name: "c_mktsegment", Kind: types.KindString},
+	)
+}
+
+// SupplierSchema returns the supplier dimension schema.
+func SupplierSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "s_suppkey", Kind: types.KindInt},
+		types.Column{Name: "s_city", Kind: types.KindString},
+		types.Column{Name: "s_nation", Kind: types.KindString},
+		types.Column{Name: "s_region", Kind: types.KindString},
+	)
+}
+
+// PartSchema returns the part dimension schema.
+func PartSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "p_partkey", Kind: types.KindInt},
+		types.Column{Name: "p_mfgr", Kind: types.KindString},
+		types.Column{Name: "p_category", Kind: types.KindString},
+		types.Column{Name: "p_brand1", Kind: types.KindString},
+		types.Column{Name: "p_color", Kind: types.KindString},
+		types.Column{Name: "p_size", Kind: types.KindInt},
+	)
+}
+
+// DateSchema returns the date dimension schema.
+func DateSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "d_datekey", Kind: types.KindInt},
+		types.Column{Name: "d_dayofweek", Kind: types.KindString},
+		types.Column{Name: "d_month", Kind: types.KindString},
+		types.Column{Name: "d_year", Kind: types.KindInt},
+		types.Column{Name: "d_yearmonthnum", Kind: types.KindInt},
+		types.Column{Name: "d_yearmonth", Kind: types.KindString},
+		types.Column{Name: "d_weeknuminyear", Kind: types.KindInt},
+	)
+}
+
+// Regions are the five SSB regions.
+var Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// NationsByRegion maps each region to its five SSB nations.
+var NationsByRegion = map[string][]string{
+	"AFRICA":      {"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"},
+	"AMERICA":     {"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"},
+	"ASIA":        {"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"},
+	"EUROPE":      {"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"},
+	"MIDDLE EAST": {"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"},
+}
+
+// Nations lists all 25 nations with their region, index-aligned.
+var Nations, nationRegion = func() ([]string, []string) {
+	var ns, rs []string
+	for _, reg := range Regions {
+		for _, n := range NationsByRegion[reg] {
+			ns = append(ns, n)
+			rs = append(rs, reg)
+		}
+	}
+	return ns, rs
+}()
+
+// CityOf derives an SSB city name: the nation name padded/truncated to nine
+// characters plus a digit 0-9 (e.g. "UNITED KI1").
+func CityOf(nation string, i int) string {
+	prefix := nation
+	for len(prefix) < 9 {
+		prefix += " "
+	}
+	return prefix[:9] + string(rune('0'+i%10))
+}
+
+// MktSegments are the customer market segments.
+var MktSegments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+
+// Colors are the part colors used by p_color.
+var Colors = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+	"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream",
+}

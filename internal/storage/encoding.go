@@ -1,0 +1,151 @@
+// Package storage is the Shore-MT substitute: a page-based storage manager
+// with heap files, a pinning buffer pool with clock eviction, pluggable disks
+// (an in-memory disk with a latency/bandwidth model for repeatable
+// experiments, and a real-file disk), and circular shared scans — the
+// storage-layer sharing primitive both QPipe and CJOIN rely on.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+)
+
+// PageSize is the size of every on-disk page in bytes.
+const PageSize = 32 * 1024
+
+// pageHeaderSize holds the uint16 row count.
+const pageHeaderSize = 2
+
+// EncodeRow appends the binary encoding of row r to buf and returns the
+// extended buffer. Layout per column: 1 kind tag byte, then a kind-specific
+// payload (varint for int/date, 8-byte LE for float, 1 byte for bool,
+// uvarint length + bytes for string, nothing for NULL).
+func EncodeRow(buf []byte, r types.Row) []byte {
+	for _, d := range r {
+		buf = append(buf, byte(d.K))
+		switch d.K {
+		case types.KindNull:
+		case types.KindInt, types.KindDate:
+			buf = binary.AppendVarint(buf, d.I)
+		case types.KindBool:
+			if d.I != 0 {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case types.KindFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.F))
+		case types.KindString:
+			buf = binary.AppendUvarint(buf, uint64(len(d.S)))
+			buf = append(buf, d.S...)
+		default:
+			panic(fmt.Sprintf("storage: cannot encode kind %v", d.K))
+		}
+	}
+	return buf
+}
+
+// DecodeRow decodes one row of ncols columns from data, returning the row and
+// the remaining bytes.
+func DecodeRow(data []byte, ncols int) (types.Row, []byte, error) {
+	r := make(types.Row, ncols)
+	for i := 0; i < ncols; i++ {
+		if len(data) == 0 {
+			return nil, nil, fmt.Errorf("storage: truncated row at column %d", i)
+		}
+		k := types.Kind(data[0])
+		data = data[1:]
+		switch k {
+		case types.KindNull:
+			r[i] = types.Null
+		case types.KindInt, types.KindDate:
+			v, n := binary.Varint(data)
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("storage: bad varint at column %d", i)
+			}
+			data = data[n:]
+			r[i] = types.Datum{K: k, I: v}
+		case types.KindBool:
+			if len(data) < 1 {
+				return nil, nil, fmt.Errorf("storage: truncated bool at column %d", i)
+			}
+			r[i] = types.NewBool(data[0] != 0)
+			data = data[1:]
+		case types.KindFloat:
+			if len(data) < 8 {
+				return nil, nil, fmt.Errorf("storage: truncated float at column %d", i)
+			}
+			r[i] = types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(data)))
+			data = data[8:]
+		case types.KindString:
+			l, n := binary.Uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return nil, nil, fmt.Errorf("storage: truncated string at column %d", i)
+			}
+			r[i] = types.NewString(string(data[n : n+int(l)]))
+			data = data[n+int(l):]
+		default:
+			return nil, nil, fmt.Errorf("storage: unknown kind tag %d at column %d", k, i)
+		}
+	}
+	return r, data, nil
+}
+
+// pageBuilder packs encoded rows into a PageSize byte page.
+type pageBuilder struct {
+	buf  []byte
+	rows int
+}
+
+func newPageBuilder() *pageBuilder {
+	b := &pageBuilder{buf: make([]byte, pageHeaderSize, PageSize)}
+	return b
+}
+
+// tryAppend encodes r into the page; it returns false (leaving the page
+// unchanged) if the encoded row does not fit.
+func (b *pageBuilder) tryAppend(r types.Row) bool {
+	old := len(b.buf)
+	b.buf = EncodeRow(b.buf, r)
+	if len(b.buf) > PageSize {
+		b.buf = b.buf[:old]
+		return false
+	}
+	b.rows++
+	return true
+}
+
+// finish zero-pads to PageSize, stamps the header and returns the page.
+func (b *pageBuilder) finish() []byte {
+	binary.LittleEndian.PutUint16(b.buf[0:2], uint16(b.rows))
+	page := make([]byte, PageSize)
+	copy(page, b.buf)
+	b.buf = b.buf[:pageHeaderSize]
+	b.rows = 0
+	return page
+}
+
+func (b *pageBuilder) empty() bool { return b.rows == 0 }
+
+// DecodePage decodes every row in a page into rows of ncols columns.
+func DecodePage(page []byte, ncols int) ([]types.Row, error) {
+	if len(page) < pageHeaderSize {
+		return nil, fmt.Errorf("storage: short page (%d bytes)", len(page))
+	}
+	n := int(binary.LittleEndian.Uint16(page[0:2]))
+	data := page[pageHeaderSize:]
+	rows := make([]types.Row, 0, n)
+	for i := 0; i < n; i++ {
+		var r types.Row
+		var err error
+		r, data, err = DecodeRow(data, ncols)
+		if err != nil {
+			return nil, fmt.Errorf("storage: page row %d: %w", i, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}

@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func randRow(r *rand.Rand, ncols int) types.Row {
+	row := make(types.Row, ncols)
+	for i := range row {
+		switch r.Intn(6) {
+		case 0:
+			row[i] = types.Null
+		case 1:
+			row[i] = types.NewInt(r.Int63() - r.Int63())
+		case 2:
+			row[i] = types.NewFloat(r.NormFloat64() * 1e6)
+		case 3:
+			b := make([]byte, r.Intn(40))
+			for j := range b {
+				b[j] = byte(r.Intn(256))
+			}
+			row[i] = types.NewString(string(b))
+		case 4:
+			row[i] = types.NewDate(r.Int63n(30000))
+		default:
+			row[i] = types.NewBool(r.Intn(2) == 0)
+		}
+	}
+	return row
+}
+
+type rowGen struct{ R types.Row }
+
+func (rowGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(rowGen{R: randRow(r, 1+r.Intn(8))})
+}
+
+func TestEncodeDecodeRowRoundTrip(t *testing.T) {
+	f := func(g rowGen) bool {
+		buf := EncodeRow(nil, g.R)
+		got, rest, err := DecodeRow(buf, len(g.R))
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return reflect.DeepEqual(got, g.R)
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRowTruncated(t *testing.T) {
+	row := types.Row{types.NewString("hello"), types.NewInt(42)}
+	buf := EncodeRow(nil, row)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeRow(buf[:cut], 2); err == nil {
+			t.Errorf("decode of %d/%d bytes must fail", cut, len(buf))
+		}
+	}
+}
+
+func TestDecodeRowBadKindTag(t *testing.T) {
+	if _, _, err := DecodeRow([]byte{0xEE}, 1); err == nil {
+		t.Error("unknown kind tag must fail")
+	}
+}
+
+func TestPageBuilderPacksAndDecodes(t *testing.T) {
+	b := newPageBuilder()
+	var want []types.Row
+	r := rand.New(rand.NewSource(1))
+	for {
+		row := randRow(r, 4)
+		if !b.tryAppend(row) {
+			break
+		}
+		want = append(want, row)
+	}
+	if len(want) == 0 {
+		t.Fatal("no rows fit in a page")
+	}
+	page := b.finish()
+	if len(page) != PageSize {
+		t.Fatalf("page size = %d", len(page))
+	}
+	got, err := DecodePage(page, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decoded %d rows, want %d (or content mismatch)", len(got), len(want))
+	}
+	if !b.empty() {
+		t.Error("builder must be empty after finish")
+	}
+}
+
+func TestDecodePageEmpty(t *testing.T) {
+	b := newPageBuilder()
+	page := b.finish()
+	rows, err := DecodePage(page, 3)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("empty page: rows=%d err=%v", len(rows), err)
+	}
+	if _, err := DecodePage([]byte{1}, 3); err == nil {
+		t.Error("short page must fail")
+	}
+}

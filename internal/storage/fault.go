@@ -1,0 +1,50 @@
+package storage
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the failure produced by a FaultDisk.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultDisk wraps a Disk and injects read failures — the failure-injection
+// hook used to verify that I/O errors propagate cleanly through the engine
+// and the CJOIN pipeline instead of wedging them.
+type FaultDisk struct {
+	Disk
+
+	// failAfter: reads with ordinal >= failAfter fail while armed.
+	failAfter atomic.Int64
+	reads     atomic.Int64
+	armed     atomic.Bool
+	injected  atomic.Int64
+}
+
+// NewFaultDisk wraps d; the fault starts disarmed.
+func NewFaultDisk(d Disk) *FaultDisk {
+	return &FaultDisk{Disk: d}
+}
+
+// FailReadsAfter arms the fault: the n-th subsequent read (0 = the next one)
+// and every read after it fail until Heal is called.
+func (f *FaultDisk) FailReadsAfter(n int64) {
+	f.failAfter.Store(f.reads.Load() + n)
+	f.armed.Store(true)
+}
+
+// Heal disarms the fault.
+func (f *FaultDisk) Heal() { f.armed.Store(false) }
+
+// Injected returns the number of failed reads.
+func (f *FaultDisk) Injected() int64 { return f.injected.Load() }
+
+// ReadPage fails while armed and past the threshold, else delegates.
+func (f *FaultDisk) ReadPage(file FileID, idx int, buf []byte) error {
+	ord := f.reads.Add(1) - 1
+	if f.armed.Load() && ord >= f.failAfter.Load() {
+		f.injected.Add(1)
+		return ErrInjected
+	}
+	return f.Disk.ReadPage(file, idx, buf)
+}

@@ -1,0 +1,71 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultDiskInjectsAndHeals(t *testing.T) {
+	fd := NewFaultDisk(NewMemDisk(DiskProfile{}))
+	f, err := fd.CreateFile("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, PageSize)
+	for i := 0; i < 4; i++ {
+		if err := fd.WritePage(f, i, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, PageSize)
+
+	// Disarmed: all reads succeed.
+	for i := 0; i < 4; i++ {
+		if err := fd.ReadPage(f, i, buf); err != nil {
+			t.Fatalf("disarmed read %d: %v", i, err)
+		}
+	}
+
+	// Fail after 2 more reads.
+	fd.FailReadsAfter(2)
+	if err := fd.ReadPage(f, 0, buf); err != nil {
+		t.Fatalf("read before threshold: %v", err)
+	}
+	if err := fd.ReadPage(f, 1, buf); err != nil {
+		t.Fatalf("read before threshold: %v", err)
+	}
+	if err := fd.ReadPage(f, 2, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read at threshold: %v, want injected", err)
+	}
+	if err := fd.ReadPage(f, 3, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read past threshold: %v, want injected", err)
+	}
+	if fd.Injected() != 2 {
+		t.Errorf("Injected = %d, want 2", fd.Injected())
+	}
+
+	// Heal: reads succeed again.
+	fd.Heal()
+	if err := fd.ReadPage(f, 0, buf); err != nil {
+		t.Fatalf("healed read: %v", err)
+	}
+	// Writes are never affected.
+	if err := fd.WritePage(f, 0, page); err != nil {
+		t.Fatalf("write during/after faults: %v", err)
+	}
+}
+
+func TestFaultDiskDelegatesMetadata(t *testing.T) {
+	inner := NewMemDisk(DiskProfile{})
+	fd := NewFaultDisk(inner)
+	f, _ := fd.CreateFile("t")
+	if err := fd.WritePage(f, 0, make([]byte, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fd.NumPages(f); err != nil || n != 1 {
+		t.Fatalf("NumPages = %d, %v", n, err)
+	}
+	if fd.Stats().PageWrites != 1 {
+		t.Errorf("stats = %+v", fd.Stats())
+	}
+}

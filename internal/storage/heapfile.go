@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// HeapFile is a table stored as a sequence of pages on a Disk. Rows are
+// appended during bulk load (write-through, bypassing the pool) and read
+// through the buffer pool afterwards.
+type HeapFile struct {
+	disk   Disk
+	pool   *BufferPool
+	id     FileID
+	schema *types.Schema
+
+	mu       sync.Mutex
+	builder  *pageBuilder
+	numPages int
+	numRows  int
+	sealed   bool
+}
+
+// NewHeapFile creates an empty heap file named name on the disk.
+func NewHeapFile(disk Disk, pool *BufferPool, name string, schema *types.Schema) (*HeapFile, error) {
+	id, err := disk.CreateFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return &HeapFile{
+		disk:    disk,
+		pool:    pool,
+		id:      id,
+		schema:  schema,
+		builder: newPageBuilder(),
+	}, nil
+}
+
+// Schema returns the row schema.
+func (h *HeapFile) Schema() *types.Schema { return h.schema }
+
+// ID returns the underlying disk file id.
+func (h *HeapFile) ID() FileID { return h.id }
+
+// Append bulk-loads rows, flushing full pages to disk. Not valid after Seal.
+func (h *HeapFile) Append(rows ...types.Row) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sealed {
+		return fmt.Errorf("storage: append to sealed heap file")
+	}
+	for _, r := range rows {
+		if len(r) != h.schema.Len() {
+			return fmt.Errorf("storage: row width %d, schema width %d", len(r), h.schema.Len())
+		}
+		if !h.builder.tryAppend(r) {
+			if h.builder.empty() {
+				return fmt.Errorf("storage: row larger than page (%d bytes max)", PageSize)
+			}
+			if err := h.flushLocked(); err != nil {
+				return err
+			}
+			if !h.builder.tryAppend(r) {
+				return fmt.Errorf("storage: row larger than page (%d bytes max)", PageSize)
+			}
+		}
+		h.numRows++
+	}
+	return nil
+}
+
+// flushLocked writes the partially-filled builder page to disk.
+func (h *HeapFile) flushLocked() error {
+	page := h.builder.finish()
+	if err := h.disk.WritePage(h.id, h.numPages, page); err != nil {
+		return err
+	}
+	h.numPages++
+	return nil
+}
+
+// Seal flushes any partial page and freezes the file for reading. Scans of a
+// non-sealed file see only the flushed pages.
+func (h *HeapFile) Seal() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sealed {
+		return nil
+	}
+	if !h.builder.empty() {
+		if err := h.flushLocked(); err != nil {
+			return err
+		}
+	}
+	h.sealed = true
+	return nil
+}
+
+// NumPages returns the number of flushed pages.
+func (h *HeapFile) NumPages() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.numPages
+}
+
+// NumRows returns the number of appended rows (including unflushed ones).
+func (h *HeapFile) NumRows() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.numRows
+}
+
+// Prefetch requests page idx in the background (scan readahead).
+func (h *HeapFile) Prefetch(idx int) { h.pool.Prefetch(h.id, idx) }
+
+// Page fetches page idx through the buffer pool and decodes its rows.
+func (h *HeapFile) Page(idx int) ([]types.Row, error) {
+	fr, err := h.pool.Fetch(h.id, idx)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(fr)
+	return DecodePage(fr.Data(), h.schema.Len())
+}
+
+// AllRows reads the whole file (testing and bulk-build convenience; query
+// execution uses ScanCursor instead).
+func (h *HeapFile) AllRows() ([]types.Row, error) {
+	n := h.NumPages()
+	var out []types.Row
+	for i := 0; i < n; i++ {
+		rows, err := h.Page(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}

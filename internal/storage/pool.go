@@ -1,0 +1,222 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNoFreeFrames is returned when every frame in the pool is pinned and a
+// new page must be brought in.
+var ErrNoFreeFrames = errors.New("storage: buffer pool exhausted (all frames pinned)")
+
+type pageKey struct {
+	file FileID
+	idx  int
+}
+
+// Frame is a buffer-pool slot holding one page. Callers receive pinned
+// frames from Fetch and must Unpin them when done; the page bytes must not
+// be accessed after Unpin.
+type Frame struct {
+	key     pageKey
+	data    []byte
+	pins    int
+	ref     bool
+	valid   bool
+	loading chan struct{} // non-nil while the page is being read from disk
+	loadErr error
+}
+
+// Data returns the page bytes. Valid only while the frame is pinned.
+func (fr *Frame) Data() []byte { return fr.data }
+
+// PoolStats are cumulative buffer pool counters.
+type PoolStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// BufferPool caches disk pages in a fixed number of frames with clock
+// eviction. It is safe for concurrent use; a page requested by several
+// scanners at once is read from disk exactly once (single-flight loading) —
+// this is the mechanism through which circular shared scans turn k concurrent
+// table scans into roughly one disk sweep.
+type BufferPool struct {
+	disk Disk
+
+	mu     sync.Mutex
+	frames []*Frame
+	table  map[pageKey]*Frame
+	hand   int
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	prefetched atomic.Int64
+
+	prefetchGate chan struct{}
+}
+
+// NewBufferPool creates a pool of npages frames over the given disk.
+func NewBufferPool(disk Disk, npages int) *BufferPool {
+	if npages < 1 {
+		npages = 1
+	}
+	p := &BufferPool{
+		disk:         disk,
+		frames:       make([]*Frame, npages),
+		table:        make(map[pageKey]*Frame, npages),
+		prefetchGate: make(chan struct{}, 4),
+	}
+	for i := range p.frames {
+		p.frames[i] = &Frame{data: make([]byte, PageSize)}
+	}
+	return p
+}
+
+// Size returns the pool capacity in pages.
+func (p *BufferPool) Size() int { return len(p.frames) }
+
+// Fetch returns a pinned frame holding page (f, idx), reading it from disk on
+// a miss. Concurrent fetches of the same missing page coalesce into a single
+// disk read.
+func (p *BufferPool) Fetch(f FileID, idx int) (*Frame, error) {
+	key := pageKey{file: f, idx: idx}
+	p.mu.Lock()
+	if fr, ok := p.table[key]; ok {
+		fr.pins++
+		fr.ref = true
+		if ch := fr.loading; ch != nil {
+			p.mu.Unlock()
+			<-ch
+			// loadErr is published before the channel close.
+			if fr.loadErr != nil {
+				err := fr.loadErr
+				p.Unpin(fr)
+				return nil, err
+			}
+			p.hits.Add(1)
+			return fr, nil
+		}
+		p.hits.Add(1)
+		p.mu.Unlock()
+		return fr, nil
+	}
+
+	fr, err := p.victimLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	if fr.valid {
+		delete(p.table, fr.key)
+		p.evictions.Add(1)
+	}
+	fr.key = key
+	fr.valid = true
+	fr.pins = 1
+	fr.ref = true
+	fr.loadErr = nil
+	ch := make(chan struct{})
+	fr.loading = ch
+	p.table[key] = fr
+	p.misses.Add(1)
+	p.mu.Unlock()
+
+	readErr := p.disk.ReadPage(f, idx, fr.data)
+
+	p.mu.Lock()
+	fr.loadErr = readErr
+	fr.loading = nil
+	if readErr != nil {
+		fr.pins--
+		fr.valid = false
+		delete(p.table, key)
+	}
+	p.mu.Unlock()
+	close(ch)
+	if readErr != nil {
+		return nil, fmt.Errorf("storage: fetch page %d of file %d: %w", idx, f, readErr)
+	}
+	return fr, nil
+}
+
+// Unpin releases a pinned frame.
+func (p *BufferPool) Unpin(fr *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr.pins <= 0 {
+		panic("storage: Unpin of unpinned frame")
+	}
+	fr.pins--
+}
+
+// victimLocked runs the clock hand to find an evictable frame. Two full
+// sweeps guarantee every unpinned frame has had its reference bit cleared
+// once before we give up.
+func (p *BufferPool) victimLocked() (*Frame, error) {
+	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
+		fr := p.frames[p.hand]
+		p.hand = (p.hand + 1) % len(p.frames)
+		if fr.pins > 0 || fr.loading != nil {
+			continue
+		}
+		if fr.ref {
+			fr.ref = false
+			continue
+		}
+		return fr, nil
+	}
+	return nil, ErrNoFreeFrames
+}
+
+// Prefetch requests page (f, idx) in the background so a subsequent Fetch
+// hits the pool. It never blocks the caller: when the prefetch gate is
+// saturated the request is simply dropped (readahead is best-effort). The
+// single-flight machinery in Fetch guarantees a concurrent demand fetch of
+// the same page coalesces with the prefetch rather than reading twice.
+func (p *BufferPool) Prefetch(f FileID, idx int) {
+	p.mu.Lock()
+	_, cached := p.table[pageKey{file: f, idx: idx}]
+	p.mu.Unlock()
+	if cached {
+		return
+	}
+	select {
+	case p.prefetchGate <- struct{}{}:
+	default:
+		return // gate saturated; skip
+	}
+	go func() {
+		defer func() { <-p.prefetchGate }()
+		fr, err := p.Fetch(f, idx)
+		if err != nil {
+			return // best-effort: demand fetches will surface the error
+		}
+		p.prefetched.Add(1)
+		p.Unpin(fr)
+	}()
+}
+
+// Prefetched returns the number of completed background prefetches.
+func (p *BufferPool) Prefetched() int64 { return p.prefetched.Load() }
+
+// Contains reports whether the page is currently cached (testing hook).
+func (p *BufferPool) Contains(f FileID, idx int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.table[pageKey{file: f, idx: idx}]
+	return ok
+}
+
+// Stats returns cumulative counters.
+func (p *BufferPool) Stats() PoolStats {
+	return PoolStats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Evictions: p.evictions.Load(),
+	}
+}

@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"sync"
+
+	"repro/internal/types"
+)
+
+// ScanGroup coordinates circular shared scans over one heap file — the
+// storage-layer sharing primitive of both QPipe and CJOIN ("both techniques
+// use shared scans", §1). A cursor attaching while other scans are active
+// starts at the position of the most advanced active cursor, so trailing
+// cursors hit buffer-pool-resident pages and k concurrent scans cost roughly
+// one disk sweep instead of k.
+type ScanGroup struct {
+	hf       *HeapFile
+	shared   bool
+	prefetch bool
+
+	mu      sync.Mutex
+	cursors map[*ScanCursor]struct{}
+	// attaches counts Attach calls; attachShared counts those that joined an
+	// in-progress sweep (reported by the harness as shared-scan hits).
+	attaches     int64
+	attachShared int64
+}
+
+// NewScanGroup creates a scan coordinator for hf. If shared is false every
+// cursor starts at page zero (the query-centric baseline for the shared-scan
+// ablation).
+func NewScanGroup(hf *HeapFile, shared bool) *ScanGroup {
+	return &ScanGroup{hf: hf, shared: shared, cursors: make(map[*ScanCursor]struct{})}
+}
+
+// SetShared toggles shared-scan behaviour (ablation hook; affects future
+// attaches only).
+func (g *ScanGroup) SetShared(v bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.shared = v
+}
+
+// SetPrefetch toggles scan readahead: cursors request their next page in
+// the background while the current page is being processed, hiding disk
+// latency on sequential sweeps.
+func (g *ScanGroup) SetPrefetch(v bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.prefetch = v
+}
+
+// prefetchOn reads the toggle under the group lock.
+func (g *ScanGroup) prefetchOn() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.prefetch
+}
+
+// ScanCursor delivers every page of the file exactly once, starting at the
+// attach position and wrapping circularly.
+type ScanCursor struct {
+	group     *ScanGroup
+	numPages  int
+	next      int
+	remaining int
+	served    int64 // pages delivered, used to find the most advanced cursor
+}
+
+// Attach registers a new circular scan over the file.
+func (g *ScanGroup) Attach() *ScanCursor {
+	n := g.hf.NumPages()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.attaches++
+	start := 0
+	if g.shared && n > 0 {
+		// Join the most advanced in-progress sweep, if any.
+		var lead *ScanCursor
+		for c := range g.cursors {
+			if c.remaining > 0 && (lead == nil || c.served > lead.served) {
+				lead = c
+			}
+		}
+		if lead != nil {
+			start = lead.next
+			g.attachShared++
+		}
+	}
+	c := &ScanCursor{group: g, numPages: n, next: start, remaining: n}
+	g.cursors[c] = struct{}{}
+	return c
+}
+
+// NumPages returns the number of pages this cursor will deliver.
+func (c *ScanCursor) NumPages() int { return c.numPages }
+
+// Next returns the index of the next page to read, or ok=false when the
+// circular sweep has delivered every page.
+func (c *ScanCursor) Next() (idx int, ok bool) {
+	g := c.group
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c.remaining == 0 {
+		return 0, false
+	}
+	idx = c.next
+	c.next = (c.next + 1) % c.numPages
+	c.remaining--
+	c.served++
+	return idx, true
+}
+
+// NextRows fetches and decodes the next page, or ok=false at end of sweep.
+// With readahead enabled the cursor's following page is requested in the
+// background before this one is decoded.
+func (c *ScanCursor) NextRows() (rows []types.Row, ok bool, err error) {
+	idx, ok := c.Next()
+	if !ok {
+		return nil, false, nil
+	}
+	if c.numPages > 1 && c.group.prefetchOn() {
+		c.group.hf.Prefetch((idx + 1) % c.numPages)
+	}
+	rows, err = c.group.hf.Page(idx)
+	if err != nil {
+		return nil, false, err
+	}
+	return rows, true, nil
+}
+
+// Close detaches the cursor from its group.
+func (c *ScanCursor) Close() {
+	g := c.group
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.cursors, c)
+}
+
+// ScanGroupStats reports sharing effectiveness counters.
+type ScanGroupStats struct {
+	Attaches       int64
+	AttachedShared int64
+}
+
+// Stats returns cumulative attach counters.
+func (g *ScanGroup) Stats() ScanGroupStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return ScanGroupStats{Attaches: g.attaches, AttachedShared: g.attachShared}
+}

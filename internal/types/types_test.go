@@ -1,0 +1,230 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genDatum produces an arbitrary datum for property tests.
+func genDatum(r *rand.Rand) Datum {
+	switch r.Intn(6) {
+	case 0:
+		return Null
+	case 1:
+		return NewInt(r.Int63n(2000) - 1000)
+	case 2:
+		return NewFloat(float64(r.Int63n(2000)-1000) / 4)
+	case 3:
+		return NewString(string(rune('a' + r.Intn(26))))
+	case 4:
+		return NewDate(r.Int63n(20000))
+	default:
+		return NewBool(r.Intn(2) == 0)
+	}
+}
+
+// datumGen adapts genDatum to testing/quick.
+type datumGen struct{ D Datum }
+
+func (datumGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(datumGen{D: genDatum(r)})
+}
+
+func TestCompareReflexiveAndAntisymmetric(t *testing.T) {
+	f := func(a, b datumGen) bool {
+		if a.D.Compare(a.D) != 0 {
+			return false
+		}
+		return a.D.Compare(b.D) == -b.D.Compare(a.D)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareTransitive(t *testing.T) {
+	f := func(a, b, c datumGen) bool {
+		x, y, z := a.D, b.D, c.D
+		// sort the triple by Compare and verify pairwise consistency
+		if x.Compare(y) > 0 {
+			x, y = y, x
+		}
+		if y.Compare(z) > 0 {
+			y, z = z, y
+		}
+		if x.Compare(y) > 0 {
+			x, y = y, x
+		}
+		return x.Compare(y) <= 0 && y.Compare(z) <= 0 && x.Compare(z) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualDatumsHashEqual(t *testing.T) {
+	f := func(a, b datumGen) bool {
+		if a.D.Equal(b.D) {
+			return a.D.Hash(14695981039346656037) == b.D.Hash(14695981039346656037)
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 5000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntFloatCrossKindEquality(t *testing.T) {
+	if !NewInt(42).Equal(NewFloat(42)) {
+		t.Error("int 42 should equal float 42")
+	}
+	if NewInt(42).Equal(NewFloat(42.5)) {
+		t.Error("int 42 should not equal float 42.5")
+	}
+	const seed = 0x9e3779b9
+	if NewInt(42).Hash(seed) != NewFloat(42).Hash(seed) {
+		t.Error("equal int/float datums must hash equal")
+	}
+}
+
+func TestNullSortsFirst(t *testing.T) {
+	for _, d := range []Datum{NewInt(-1 << 60), NewString(""), NewFloat(-1e300)} {
+		if Null.Compare(d) != -1 {
+			t.Errorf("NULL must sort before %v", d)
+		}
+	}
+	if Null.Compare(Null) != 0 {
+		t.Error("NULL == NULL under Compare")
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	cases := []struct{ y, m, d int }{
+		{1992, 1, 1}, {1998, 12, 31}, {1994, 2, 28}, {1996, 2, 29}, {1970, 1, 1},
+	}
+	for _, c := range cases {
+		dt := DateFromYMD(c.y, c.m, c.d)
+		y, m, d := dt.YMD()
+		if y != c.y || m != c.m || d != c.d {
+			t.Errorf("DateFromYMD(%v).YMD() = %d-%d-%d", c, y, m, d)
+		}
+	}
+}
+
+func TestDateOrderingMatchesCalendar(t *testing.T) {
+	a := DateFromYMD(1994, 1, 1)
+	b := DateFromYMD(1994, 1, 2)
+	c := DateFromYMD(1995, 1, 1)
+	if !(a.Compare(b) < 0 && b.Compare(c) < 0) {
+		t.Error("calendar order must match datum order")
+	}
+}
+
+func TestDatumString(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		want string
+	}{
+		{NewInt(7), "7"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("x"), "x"},
+		{NewBool(true), "true"},
+		{Null, "NULL"},
+		{DateFromYMD(1994, 3, 7), "1994-03-07"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSigStringDisambiguatesKinds(t *testing.T) {
+	if NewInt(1).SigString() == NewBool(true).SigString() {
+		t.Error("int 1 and bool true must have different signature strings")
+	}
+	if NewInt(1).SigString() == NewString("1").SigString() {
+		t.Error("int 1 and string \"1\" must have different signature strings")
+	}
+}
+
+func TestRowCloneIsDeep(t *testing.T) {
+	r := Row{NewInt(1), NewString("a")}
+	c := r.Clone()
+	c[0] = NewInt(99)
+	if r[0].I != 1 {
+		t.Error("mutating clone must not affect original")
+	}
+}
+
+func TestRowConcatAndEqual(t *testing.T) {
+	a := Row{NewInt(1)}
+	b := Row{NewInt(2), NewInt(3)}
+	got := a.Concat(b)
+	want := Row{NewInt(1), NewInt(2), NewInt(3)}
+	if !got.Equal(want) {
+		t.Errorf("Concat = %v, want %v", got, want)
+	}
+	if a.Equal(b) {
+		t.Error("rows of different length must not be equal")
+	}
+}
+
+func TestRowHashConsistentWithEqual(t *testing.T) {
+	f := func(a, b datumGen, c datumGen) bool {
+		r1 := Row{a.D, b.D, c.D}
+		r2 := Row{a.D, b.D, c.D}
+		return r1.Equal(r2) && r1.Hash(1) == r2.Hash(1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := NewSchema(Column{"a", KindInt}, Column{"b", KindString})
+	if i := s.MustColIndex("b"); i != 1 {
+		t.Errorf("MustColIndex(b) = %d", i)
+	}
+	if _, ok := s.ColIndex("zz"); ok {
+		t.Error("unknown column must not resolve")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate column names must panic")
+		}
+	}()
+	NewSchema(Column{"a", KindInt}, Column{"a", KindInt})
+}
+
+func TestSchemaConcatDisambiguates(t *testing.T) {
+	l := NewSchema(Column{"k", KindInt}, Column{"v", KindInt})
+	r := NewSchema(Column{"k", KindInt}, Column{"w", KindInt})
+	j := l.Concat(r)
+	if j.Len() != 4 {
+		t.Fatalf("Concat len = %d", j.Len())
+	}
+	if _, ok := j.ColIndex("r_k"); !ok {
+		t.Error("collided right column must be prefixed r_")
+	}
+	if i := j.MustColIndex("w"); i != 3 {
+		t.Errorf("w at %d, want 3", i)
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := NewSchema(Column{"a", KindInt}, Column{"b", KindFloat}, Column{"c", KindString})
+	p := s.Project([]int{2, 0})
+	if p.Cols[0].Name != "c" || p.Cols[1].Name != "a" {
+		t.Errorf("Project = %v", p)
+	}
+}

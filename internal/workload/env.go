@@ -1,0 +1,148 @@
+// Package workload drives the paper's four demonstration scenarios: it owns
+// database environments (memory- or disk-resident), closed-loop and batched
+// clients, throughput / response-time measurement, and one runner per
+// scenario producing the series the demo GUI plots (Figures 4 and 5).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cjoin"
+	"repro/internal/engine"
+	"repro/internal/ssb"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// Residency selects whether the database fits the buffer pool or lives on
+// the (simulated) disk.
+type Residency int
+
+// Residency values. DefaultResidency lets each scenario pick its demo
+// default (memory-resident for I and III, disk-resident for II and IV).
+const (
+	DefaultResidency Residency = iota
+	MemoryResident
+	DiskResident
+)
+
+// String names the residency.
+func (r Residency) String() string {
+	if r == DiskResident {
+		return "disk-resident"
+	}
+	return "memory-resident"
+}
+
+// Env is one database environment: a catalog over a simulated disk with
+// either the SSB star schema or the TPC-H lineitem table loaded, plus (for
+// SSB) a running CJOIN operator over the full dimension chain.
+type Env struct {
+	Cat  *storage.Catalog
+	Disk *storage.MemDisk
+
+	SSB      *ssb.DB        // set by NewSSBEnv
+	Lineitem *storage.Table // set by NewTPCHEnv
+
+	CJoin *cjoin.Operator // set by NewSSBEnv
+
+	Residency Residency
+	PoolPages int
+}
+
+// estimatePages over-approximates the page count of a generated database so
+// the buffer pool can be sized before generation.
+func estimatePages(factRows int) int {
+	// ~80 encoded bytes per fact row plus dimension slack.
+	return factRows*80/storage.PageSize + 256
+}
+
+// newCatalog builds the disk+catalog pair for the residency mode. For
+// memory-resident databases the pool covers the whole database; for
+// disk-resident ones it covers poolFraction of it and every miss pays the
+// HDD-profile latency.
+func newCatalog(factRows int, res Residency, poolPages int) (*storage.Catalog, *storage.MemDisk, int) {
+	est := estimatePages(factRows)
+	var disk *storage.MemDisk
+	switch res {
+	case DiskResident:
+		disk = storage.NewMemDisk(storage.HDDProfile)
+		if poolPages <= 0 {
+			poolPages = est/8 + 32
+		}
+	default:
+		disk = storage.NewMemDisk(storage.DiskProfile{})
+		if poolPages <= 0 {
+			poolPages = est*2 + 256
+		}
+	}
+	return storage.NewCatalog(disk, poolPages, true), disk, poolPages
+}
+
+// NewSSBEnv generates an SSB database and starts the CJOIN operator over
+// the chain date → customer → supplier → part.
+func NewSSBEnv(sf float64, res Residency, poolPages int, seed int64) (*Env, error) {
+	factRows := int(float64(ssb.LineorderRowsPerSF) * sf)
+	cat, disk, pool := newCatalog(factRows, res, poolPages)
+	db, err := ssb.Generate(cat, sf, seed)
+	if err != nil {
+		return nil, fmt.Errorf("workload: generate ssb: %w", err)
+	}
+	op, err := cjoin.NewOperator(db.Lineorder, []cjoin.DimSpec{
+		{Table: db.Date, FactKeyCol: ssb.LOOrderDate, DimKeyCol: ssb.DDateKey},
+		{Table: db.Customer, FactKeyCol: ssb.LOCustKey, DimKeyCol: ssb.CCustKey},
+		{Table: db.Supplier, FactKeyCol: ssb.LOSuppKey, DimKeyCol: ssb.SSuppKey},
+		{Table: db.Part, FactKeyCol: ssb.LOPartKey, DimKeyCol: ssb.PPartKey},
+	}, cjoin.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("workload: start cjoin: %w", err)
+	}
+	return &Env{Cat: cat, Disk: disk, SSB: db, CJoin: op, Residency: res, PoolPages: pool}, nil
+}
+
+// NewTPCHEnv generates the lineitem table for Scenario I.
+func NewTPCHEnv(sf float64, res Residency, poolPages int, seed int64) (*Env, error) {
+	factRows := int(float64(tpch.LineitemRowsPerSF) * sf)
+	cat, disk, pool := newCatalog(factRows, res, poolPages)
+	tbl, err := tpch.Generate(cat, sf, seed)
+	if err != nil {
+		return nil, fmt.Errorf("workload: generate tpch: %w", err)
+	}
+	return &Env{Cat: cat, Disk: disk, Lineitem: tbl, Residency: res, PoolPages: pool}, nil
+}
+
+// Engine builds an execution engine over the environment, wiring the CJOIN
+// operator as the engine's StarRunner when present.
+func (env *Env) Engine(cfg engine.Config) *engine.Engine {
+	if cfg.Star == nil && env.CJoin != nil {
+		cfg.Star = env.CJoin
+	}
+	return engine.New(env.Cat, cfg)
+}
+
+// CJoinBusy returns the CJOIN pipeline's cumulative processing time (zero
+// when no GQP is running); it feeds the CPU-utilisation proxy.
+func (env *Env) CJoinBusy() time.Duration {
+	if env.CJoin == nil {
+		return 0
+	}
+	return env.CJoin.Stats().Busy
+}
+
+// Close shuts down the CJOIN pipeline and releases the disk.
+func (env *Env) Close() {
+	if env.CJoin != nil {
+		env.CJoin.Close()
+	}
+	if env.Disk != nil {
+		_ = env.Disk.Close()
+	}
+}
+
+// Series is one plotted line: a label and one value per x-axis point (the
+// shape consumed by cmd/sharebench tables and cmd/demoserver charts).
+type Series struct {
+	Label  string
+	Values []float64
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// measureBatchResponse submits all plans at once (batched submission) and
+// returns the wall-clock time until every query completed — the "response
+// time of the workload" metric of Scenario I.
+func measureBatchResponse(ctx context.Context, e *engine.Engine, roots []plan.Node) (time.Duration, error) {
+	start := time.Now()
+	if _, err := e.ExecuteBatch(ctx, roots); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// planSource draws the next query plan for a client.
+type planSource func(r *rand.Rand) plan.Node
+
+// Measurement is one throughput measurement: rate, mean per-query latency,
+// and the engine-side CPU-utilisation proxy over the window.
+type Measurement struct {
+	Throughput  float64       // queries per second
+	MeanLatency time.Duration // mean per-query response time
+	CPUUtil     float64       // operator busy time / (wall x GOMAXPROCS), clamped to 1
+}
+
+// busyFn reports cumulative processing time from a component outside the
+// engine's stages (the CJOIN pipeline); nil means no extra component.
+type busyFn func() time.Duration
+
+// finishMeasurement derives the shared metrics of a run.
+func finishMeasurement(e *engine.Engine, extra busyFn, busyBefore time.Duration, start time.Time, completed int64, totalLatency time.Duration) Measurement {
+	elapsed := time.Since(start)
+	m := Measurement{}
+	if completed > 0 {
+		m.Throughput = float64(completed) / elapsed.Seconds()
+		m.MeanLatency = totalLatency / time.Duration(completed)
+	}
+	busy := e.Stats().Busy
+	if extra != nil {
+		busy += extra()
+	}
+	cores := float64(runtimeGOMAXPROCS())
+	util := (busy - busyBefore).Seconds() / (elapsed.Seconds() * cores)
+	if util > 1 {
+		util = 1
+	}
+	m.CPUUtil = util
+	return m
+}
+
+// closedLoopThroughput runs `clients` closed-loop clients (each submits a
+// query, waits for it, submits the next) for roughly dur.
+func closedLoopThroughput(ctx context.Context, e *engine.Engine, extra busyFn, clients int, dur time.Duration, src planSource, seed int64) (Measurement, error) {
+	deadline := time.Now().Add(dur)
+	var completed atomic.Int64
+	var latencyNanos atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	busyBefore := e.Stats().Busy
+	if extra != nil {
+		busyBefore += extra()
+	}
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(i)*7919))
+			for time.Now().Before(deadline) {
+				q0 := time.Now()
+				if _, err := e.Execute(ctx, src(r)); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				latencyNanos.Add(int64(time.Since(q0)))
+				completed.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return Measurement{}, err
+	}
+	return finishMeasurement(e, extra, busyBefore, start, completed.Load(), time.Duration(latencyNanos.Load())), nil
+}
+
+// batchedThroughput runs rounds in which all clients submit simultaneously
+// (coordinated batching — "ensures maximal SP sharing and decreases
+// admission costs for GQP") for roughly dur.
+func batchedThroughput(ctx context.Context, e *engine.Engine, extra busyFn, clients int, dur time.Duration, src planSource, seed int64) (Measurement, error) {
+	r := rand.New(rand.NewSource(seed))
+	deadline := time.Now().Add(dur)
+	busyBefore := e.Stats().Busy
+	if extra != nil {
+		busyBefore += extra()
+	}
+	start := time.Now()
+	var completed int64
+	var totalLatency time.Duration
+	for time.Now().Before(deadline) {
+		roots := make([]plan.Node, clients)
+		for i := range roots {
+			roots[i] = src(r)
+		}
+		r0 := time.Now()
+		if _, err := e.ExecuteBatch(ctx, roots); err != nil {
+			return Measurement{}, err
+		}
+		totalLatency += time.Since(r0) * time.Duration(clients)
+		completed += int64(clients)
+	}
+	return finishMeasurement(e, extra, busyBefore, start, completed, totalLatency), nil
+}
+
+// throughput dispatches on the batching flag.
+func throughput(ctx context.Context, e *engine.Engine, extra busyFn, clients int, dur time.Duration, batching bool, src planSource, seed int64) (Measurement, error) {
+	if batching {
+		return batchedThroughput(ctx, e, extra, clients, dur, src, seed)
+	}
+	return closedLoopThroughput(ctx, e, extra, clients, dur, src, seed)
+}
+
+// runtimeGOMAXPROCS is indirected for clarity at the call site.
+func runtimeGOMAXPROCS() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/ssb"
+)
+
+func measureEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewSSBEnv(0.001, MemoryResident, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	return env
+}
+
+func TestClosedLoopMeasurement(t *testing.T) {
+	env := measureEnv(t)
+	e := env.Engine(engine.Config{})
+	in := ssb.Instantiate(env.SSB, ssb.Q1_1, rand.New(rand.NewSource(2)))
+	src := func(r *rand.Rand) plan.Node { return in.Plan(false) }
+	m, err := closedLoopThroughput(context.Background(), e, env.CJoinBusy, 2, 150*time.Millisecond, src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput <= 0 {
+		t.Errorf("throughput = %v", m.Throughput)
+	}
+	if m.MeanLatency <= 0 || m.MeanLatency > time.Second {
+		t.Errorf("mean latency = %v", m.MeanLatency)
+	}
+	if m.CPUUtil < 0 || m.CPUUtil > 1 {
+		t.Errorf("cpu util = %v", m.CPUUtil)
+	}
+	// Throughput and latency must be roughly consistent for a closed loop:
+	// clients/latency ~ throughput (within a loose factor for scheduling).
+	implied := 2 / m.MeanLatency.Seconds()
+	if m.Throughput > implied*2 || m.Throughput < implied/4 {
+		t.Errorf("throughput %.1f inconsistent with latency %v (implied %.1f)",
+			m.Throughput, m.MeanLatency, implied)
+	}
+}
+
+func TestBatchedMeasurement(t *testing.T) {
+	env := measureEnv(t)
+	e := env.Engine(engine.Config{SP: true, Model: engine.SPPull})
+	in := ssb.Instantiate(env.SSB, ssb.Q1_1, rand.New(rand.NewSource(2)))
+	src := func(r *rand.Rand) plan.Node { return in.Plan(false) }
+	m, err := batchedThroughput(context.Background(), e, env.CJoinBusy, 4, 150*time.Millisecond, src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput <= 0 || m.MeanLatency <= 0 {
+		t.Errorf("measurement = %+v", m)
+	}
+	// Identical batched queries must have shared: satellites recorded.
+	var attached int64
+	for _, st := range e.Stats().Stages {
+		attached += st.SPAttached
+	}
+	if attached == 0 {
+		t.Error("batched identical queries produced no SP satellites")
+	}
+}
+
+func TestThroughputPropagatesQueryErrors(t *testing.T) {
+	env := measureEnv(t)
+	e := env.Engine(engine.Config{}) // CJoin runner present, but plan invalid below
+	bad := &plan.StarQuery{Fact: env.SSB.Date, FactCols: []int{0}}
+	src := func(r *rand.Rand) plan.Node { return plan.NewCJoin(bad) } // wrong fact table
+	if _, err := closedLoopThroughput(context.Background(), e, nil, 2, 100*time.Millisecond, src, 1); err == nil {
+		t.Error("closed loop must surface query errors")
+	}
+	if _, err := batchedThroughput(context.Background(), e, nil, 2, 100*time.Millisecond, src, 1); err == nil {
+		t.Error("batched loop must surface query errors")
+	}
+}

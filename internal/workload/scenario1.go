@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/tpch"
+)
+
+// Scenario I line labels.
+const (
+	LineQueryCentric = "query-centric"
+	LinePushSP       = "push-SP(FIFO)"
+	LinePullSP       = "pull-SP(SPL)"
+)
+
+// ScenarioIConfig parameterizes Scenario I (§4.3): push- vs pull-based SP at
+// the table scan stage under identical TPC-H Q1 instances submitted at the
+// same time.
+type ScenarioIConfig struct {
+	SF              float64   // TPC-H scale factor (default 0.01)
+	Cores           int       // GOMAXPROCS during measurement (1..32 in the demo)
+	Concurrency     []int     // x-axis: number of concurrent Q1 instances
+	Residency       Residency // memory-resident by default, as in the demo
+	BufferPoolPages int       // disk-resident buffer pool size (0 = default)
+	Delta           int       // Q1 parameter (default 90)
+	Seed            int64
+}
+
+func (c ScenarioIConfig) withDefaults() ScenarioIConfig {
+	if c.SF <= 0 {
+		c.SF = 0.01
+	}
+	if c.Cores <= 0 {
+		c.Cores = runtime.GOMAXPROCS(0)
+	}
+	if len(c.Concurrency) == 0 {
+		c.Concurrency = []int{1, 2, 4, 8, 16, 32}
+	}
+	if c.Delta <= 0 {
+		c.Delta = 90
+	}
+	if c.Residency == DefaultResidency {
+		c.Residency = MemoryResident
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ScenarioIPoint is one x-axis point: per-line response time and the
+// CPU-utilisation proxy (operator busy time / (wall x cores)).
+type ScenarioIPoint struct {
+	Concurrency int
+	Response    map[string]time.Duration
+	CPUUtil     map[string]float64
+}
+
+// ScenarioIResult is the full Scenario I series.
+type ScenarioIResult struct {
+	Config ScenarioIConfig
+	Lines  []string
+	Points []ScenarioIPoint
+}
+
+// scenarioIModes are the three execution configurations the demo compares.
+func scenarioIModes() []struct {
+	label string
+	cfg   engine.Config
+} {
+	scanOnly := map[plan.Kind]bool{plan.KindScan: true}
+	return []struct {
+		label string
+		cfg   engine.Config
+	}{
+		{LineQueryCentric, engine.Config{}},
+		{LinePushSP, engine.Config{SP: true, Model: engine.SPPush, SPStages: scanOnly}},
+		{LinePullSP, engine.Config{SP: true, Model: engine.SPPull, SPStages: scanOnly}},
+	}
+}
+
+// RunScenarioI measures workload response time for k identical TPC-H Q1
+// instances submitted simultaneously, for each k in cfg.Concurrency and each
+// of the three modes. Expected shape (§4.3): push-SP degrades with k while
+// its CPU utilisation stays flat (the copy serialization point); pull-SP
+// stays near-flat and uses the CPU; query-centric is marginally better than
+// pull-SP while k <= cores and loses beyond.
+func RunScenarioI(ctx context.Context, cfg ScenarioIConfig) (*ScenarioIResult, error) {
+	cfg = cfg.withDefaults()
+	env, err := NewTPCHEnv(cfg.SF, cfg.Residency, cfg.BufferPoolPages, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+
+	old := runtime.GOMAXPROCS(cfg.Cores)
+	defer runtime.GOMAXPROCS(old)
+
+	// Prime the buffer pool so the first measured point is not charged for
+	// cold-start I/O the others avoid.
+	warm := env.Engine(engine.Config{})
+	if _, err := warm.Execute(ctx, tpch.Q1Plan(env.Lineitem, cfg.Delta)); err != nil {
+		return nil, err
+	}
+
+	res := &ScenarioIResult{Config: cfg}
+	for _, m := range scenarioIModes() {
+		res.Lines = append(res.Lines, m.label)
+	}
+	for _, k := range cfg.Concurrency {
+		pt := ScenarioIPoint{
+			Concurrency: k,
+			Response:    make(map[string]time.Duration),
+			CPUUtil:     make(map[string]float64),
+		}
+		for _, m := range scenarioIModes() {
+			e := env.Engine(m.cfg)
+			roots := make([]plan.Node, k)
+			for i := range roots {
+				roots[i] = tpch.Q1Plan(env.Lineitem, cfg.Delta)
+			}
+			wall, err := measureBatchResponse(ctx, e, roots)
+			if err != nil {
+				return nil, err
+			}
+			pt.Response[m.label] = wall
+			busy := e.Stats().Busy
+			util := busy.Seconds() / (wall.Seconds() * float64(cfg.Cores))
+			// Operator sections are timed with wall clocks, so preemption
+			// under oversubscription can inflate the sum past 100%.
+			if util > 1 {
+				util = 1
+			}
+			pt.CPUUtil[m.label] = util
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}

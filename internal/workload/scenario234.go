@@ -1,0 +1,380 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/ssb"
+)
+
+// Scenario II-IV line labels.
+const (
+	LineQPipeSP = "qpipe+sp" // query-centric operators with SP on all stages
+	LineGQP     = "gqp"      // CJOIN global query plan (SP off for the CJOIN stage)
+	LineGQPSP   = "gqp+sp"   // CJOIN with SP enabled for the CJOIN stage
+)
+
+// allStages enables SP for every stage except the listed exclusions.
+func allStages(except ...plan.Kind) map[plan.Kind]bool {
+	m := make(map[plan.Kind]bool)
+	for k := plan.KindScan; k <= plan.KindCJoin; k++ {
+		m[k] = true
+	}
+	for _, k := range except {
+		m[k] = false
+	}
+	return m
+}
+
+// qpipeSPConfig is the query-centric line: SP on all (non-CJOIN) stages,
+// pull-based, as "QPipe execution engine and query-centric relational
+// operators" with SP enabled.
+func qpipeSPConfig() engine.Config {
+	return engine.Config{SP: true, Model: engine.SPPull, SPStages: allStages(plan.KindCJoin)}
+}
+
+// gqpConfig is the GQP line without SP on the CJOIN stage. (Plain proactive
+// sharing: every query is admitted into the global plan.)
+func gqpConfig() engine.Config {
+	return engine.Config{SP: true, Model: engine.SPPull, SPStages: allStages(plan.KindCJoin)}
+}
+
+// gqpNoSPConfig disables reactive sharing entirely (the Scenario IV "gqp"
+// baseline, so the gqp-vs-gqp+sp contrast isolates SP on the shared
+// operator; see EXPERIMENTS.md for the deviation note).
+func gqpNoSPConfig() engine.Config { return engine.Config{} }
+
+// gqpSPConfig enables SP exactly for the CJOIN stage (the §3 integration,
+// Figure 2): queries with an identical star sub-plan admit once — the
+// satellites pull the host's joined tuples through an SPL and run their own
+// aggregations above it.
+func gqpSPConfig() engine.Config {
+	return engine.Config{SP: true, Model: engine.SPPull,
+		SPStages: map[plan.Kind]bool{plan.KindCJoin: true}}
+}
+
+// ---------------------------------------------------------------------------
+// Scenario II: impact of concurrency
+
+// ScenarioIIConfig parameterizes Scenario II (§4.4): throughput vs number of
+// concurrent clients, disk-resident, randomized template parameters
+// (decreasing SP efficiency), selectivity fixed by the template.
+type ScenarioIIConfig struct {
+	SF              float64
+	Clients         []int // x-axis
+	Template        ssb.Template
+	PoolSize        int // randomized instances drawn per client (large = few common sub-plans)
+	Duration        time.Duration
+	Residency       Residency
+	BufferPoolPages int
+	Batching        bool
+	Seed            int64
+}
+
+func (c ScenarioIIConfig) withDefaults() ScenarioIIConfig {
+	if c.SF <= 0 {
+		c.SF = 0.01
+	}
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 2, 4, 8, 16, 32}
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 64
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Residency == DefaultResidency {
+		c.Residency = DiskResident // the demo default for this scenario
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ScenarioIIPoint is one x-axis point: per-line throughput (queries/sec),
+// mean per-query latency, and the CPU-utilisation proxy.
+type ScenarioIIPoint struct {
+	Clients     int
+	Throughput  map[string]float64
+	MeanLatency map[string]time.Duration
+	CPUUtil     map[string]float64
+}
+
+// ScenarioIIResult is the full Scenario II series.
+type ScenarioIIResult struct {
+	Config ScenarioIIConfig
+	Lines  []string
+	Points []ScenarioIIPoint
+}
+
+// RunScenarioII measures throughput as concurrency grows. Expected shape:
+// shared operators in a GQP overtake query-centric operators at high
+// concurrency.
+func RunScenarioII(ctx context.Context, cfg ScenarioIIConfig) (*ScenarioIIResult, error) {
+	cfg = cfg.withDefaults()
+	env, err := NewSSBEnv(cfg.SF, cfg.Residency, cfg.BufferPoolPages, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+
+	pool := ssb.Pool(env.SSB, cfg.Template, cfg.PoolSize, cfg.Seed)
+	res := &ScenarioIIResult{Config: cfg, Lines: []string{LineQPipeSP, LineGQP}}
+	for _, clients := range cfg.Clients {
+		pt := ScenarioIIPoint{
+			Clients:     clients,
+			Throughput:  make(map[string]float64),
+			MeanLatency: make(map[string]time.Duration),
+			CPUUtil:     make(map[string]float64),
+		}
+		for _, line := range res.Lines {
+			useGQP := line == LineGQP
+			ecfg := qpipeSPConfig()
+			if useGQP {
+				ecfg = gqpConfig()
+			}
+			e := env.Engine(ecfg)
+			src := func(r *rand.Rand) plan.Node {
+				return pool[r.Intn(len(pool))].Plan(useGQP)
+			}
+			m, err := throughput(ctx, e, env.CJoinBusy, clients, cfg.Duration, cfg.Batching, src, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			pt.Throughput[line] = m.Throughput
+			pt.MeanLatency[line] = m.MeanLatency
+			pt.CPUUtil[line] = m.CPUUtil
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Scenario III: impact of selectivity
+
+// ScenarioIIIConfig parameterizes Scenario III (§4.4): throughput vs
+// selectivity at low concurrency, memory-resident — exposing the GQP's
+// bookkeeping overhead against query-centric operators.
+type ScenarioIIIConfig struct {
+	SF            float64
+	Selectivities []float64 // x-axis, fraction of fact rows selected
+	Clients       int       // fixed low concurrency
+	Duration      time.Duration
+	Residency     Residency
+	Seed          int64
+}
+
+func (c ScenarioIIIConfig) withDefaults() ScenarioIIIConfig {
+	if c.SF <= 0 {
+		c.SF = 0.01
+	}
+	if len(c.Selectivities) == 0 {
+		c.Selectivities = []float64{0.02, 0.1, 0.25, 0.5, 0.75, 1.0}
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2
+	}
+	if c.Residency == DefaultResidency {
+		c.Residency = MemoryResident
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ScenarioIIIPoint is one selectivity point.
+type ScenarioIIIPoint struct {
+	Selectivity float64
+	Throughput  map[string]float64
+	MeanLatency map[string]time.Duration
+	CPUUtil     map[string]float64
+}
+
+// ScenarioIIIResult is the full Scenario III series.
+type ScenarioIIIResult struct {
+	Config ScenarioIIIConfig
+	Lines  []string
+	Points []ScenarioIIIPoint
+}
+
+// RunScenarioIII measures throughput as selectivity grows at fixed low
+// concurrency. Instances at the same selectivity differ in their predicate
+// window (randomized), so SP rarely fires — isolating per-operator costs.
+// Expected shape: the query-centric line stays above the GQP line.
+func RunScenarioIII(ctx context.Context, cfg ScenarioIIIConfig) (*ScenarioIIIResult, error) {
+	cfg = cfg.withDefaults()
+	env, err := NewSSBEnv(cfg.SF, cfg.Residency, 0, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+
+	res := &ScenarioIIIResult{Config: cfg, Lines: []string{LineQPipeSP, LineGQP}}
+	for _, sel := range cfg.Selectivities {
+		width := int64(sel*50 + 0.5)
+		if width < 1 {
+			width = 1
+		}
+		if width > 50 {
+			width = 50
+		}
+		pt := ScenarioIIIPoint{
+			Selectivity: sel,
+			Throughput:  make(map[string]float64),
+			MeanLatency: make(map[string]time.Duration),
+			CPUUtil:     make(map[string]float64),
+		}
+		for _, line := range res.Lines {
+			useGQP := line == LineGQP
+			ecfg := qpipeSPConfig()
+			if useGQP {
+				ecfg = gqpConfig()
+			}
+			e := env.Engine(ecfg)
+			src := func(r *rand.Rand) plan.Node {
+				start := r.Int63n(50 - width + 1)
+				return ssb.ParametricWindow(env.SSB, width, start).Plan(useGQP)
+			}
+			m, err := throughput(ctx, e, env.CJoinBusy, cfg.Clients, cfg.Duration, false, src, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			pt.Throughput[line] = m.Throughput
+			pt.MeanLatency[line] = m.MeanLatency
+			pt.CPUUtil[line] = m.CPUUtil
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Scenario IV: impact of similarity
+
+// ScenarioIVConfig parameterizes Scenario IV (§4.4): throughput and SP
+// opportunities vs the number of possible distinct plans, at fixed high
+// concurrency with batched submission, disk-resident.
+type ScenarioIVConfig struct {
+	SF              float64
+	Plans           []int // x-axis: size of the distinct-plan pool
+	Clients         int   // fixed high concurrency
+	Template        ssb.Template
+	Duration        time.Duration
+	Residency       Residency
+	BufferPoolPages int
+	Seed            int64
+}
+
+func (c ScenarioIVConfig) withDefaults() ScenarioIVConfig {
+	if c.SF <= 0 {
+		c.SF = 0.01
+	}
+	if len(c.Plans) == 0 {
+		c.Plans = []int{1, 2, 4, 8, 16, 32}
+	}
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Residency == DefaultResidency {
+		c.Residency = DiskResident
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ScenarioIVPoint is one plan-diversity point: throughput per line plus the
+// sharing counters behind it ("the most significant metric for this
+// scenario").
+type ScenarioIVPoint struct {
+	Plans      int
+	Throughput map[string]float64
+	// SPAttachedCJoin counts satellites attached at the CJOIN stage
+	// (identical star sub-plans served by one admission).
+	SPAttachedCJoin map[string]int64
+	// SPAttachedTotal counts satellites across all stages.
+	SPAttachedTotal map[string]int64
+	// Admitted counts queries actually admitted into the GQP.
+	Admitted map[string]int64
+}
+
+// ScenarioIVResult is the full Scenario IV series.
+type ScenarioIVResult struct {
+	Config ScenarioIVConfig
+	Lines  []string
+	Points []ScenarioIVPoint
+}
+
+// RunScenarioIV measures the SP+GQP combination. Expected shape: with few
+// distinct plans, SP on the CJOIN stage admits only one query per identical
+// star sub-plan (saving admission and bookkeeping), so gqp+sp beats plain
+// gqp; the gap closes as plan diversity grows and SP opportunities vanish.
+func RunScenarioIV(ctx context.Context, cfg ScenarioIVConfig) (*ScenarioIVResult, error) {
+	cfg = cfg.withDefaults()
+	env, err := NewSSBEnv(cfg.SF, cfg.Residency, cfg.BufferPoolPages, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+
+	res := &ScenarioIVResult{Config: cfg, Lines: []string{LineQPipeSP, LineGQP, LineGQPSP}}
+	for _, nplans := range cfg.Plans {
+		pool := ssb.Pool(env.SSB, cfg.Template, nplans, cfg.Seed+int64(nplans))
+		pt := ScenarioIVPoint{
+			Plans:           nplans,
+			Throughput:      make(map[string]float64),
+			SPAttachedCJoin: make(map[string]int64),
+			SPAttachedTotal: make(map[string]int64),
+			Admitted:        make(map[string]int64),
+		}
+		for _, line := range res.Lines {
+			var ecfg engine.Config
+			useGQP := true
+			switch line {
+			case LineQPipeSP:
+				ecfg = qpipeSPConfig()
+				useGQP = false
+			case LineGQP:
+				ecfg = gqpNoSPConfig()
+			default:
+				ecfg = gqpSPConfig()
+			}
+			e := env.Engine(ecfg)
+			before := env.CJoin.Stats()
+			src := func(r *rand.Rand) plan.Node {
+				return pool[r.Intn(len(pool))].Plan(useGQP)
+			}
+			m, err := throughput(ctx, e, env.CJoinBusy, cfg.Clients, cfg.Duration, true, src, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			pt.Throughput[line] = m.Throughput
+			after := env.CJoin.Stats()
+			pt.Admitted[line] = after.Admitted - before.Admitted
+			var total int64
+			for _, st := range e.Stats().Stages {
+				total += st.SPAttached
+				if st.Kind == plan.KindCJoin {
+					pt.SPAttachedCJoin[line] = st.SPAttached
+				}
+			}
+			pt.SPAttachedTotal[line] = total
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
