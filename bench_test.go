@@ -359,27 +359,46 @@ func BenchmarkSharedScan(b *testing.B) {
 
 func BenchmarkCJoinBitmapAnd(b *testing.B) {
 	for _, queries := range []int{16, 256, 4096} {
-		b.Run(fmt.Sprintf("queries=%d", queries), func(b *testing.B) {
-			tuple := bitvec.New(queries)
-			entry := bitvec.New(queries)
-			mask := bitvec.New(queries)
-			for i := 0; i < queries; i++ {
-				if i%2 == 0 {
-					tuple.Set(i)
-				}
-				if i%3 == 0 {
-					entry.Set(i)
-				}
-				if i%5 != 0 {
-					mask.Set(i)
-				}
+		tuple := bitvec.New(queries)
+		entry := bitvec.New(queries)
+		mask := bitvec.New(queries)
+		var tupleW, entryW, maskW []uint64
+		for i := 0; i < queries; i++ {
+			if i%2 == 0 {
+				tuple.Set(i)
+				tupleW = bitvec.SetWord(tupleW, i)
 			}
+			if i%3 == 0 {
+				entry.Set(i)
+				entryW = bitvec.SetWord(entryW, i)
+			}
+			if i%5 != 0 {
+				mask.Set(i)
+				maskW = bitvec.SetWord(maskW, i)
+			}
+		}
+		b.Run(fmt.Sprintf("impl=bits/queries=%d", queries), func(b *testing.B) {
 			work := tuple.Clone()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				work.CopyFrom(tuple)
 				work.AndMasked(entry, mask)
 				if !work.Any() {
+					b.Fatal("bitmap unexpectedly empty")
+				}
+			}
+		})
+		// The flat word kernels run on inline bitmap arenas — the CJOIN
+		// steady-state representation (zero allocations).
+		b.Run(fmt.Sprintf("impl=words/queries=%d", queries), func(b *testing.B) {
+			work := make([]uint64, len(tupleW))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(work, tupleW)
+				bitvec.AndMaskedWords(work, entryW, maskW)
+				if !bitvec.AnyWords(work) {
 					b.Fatal("bitmap unexpectedly empty")
 				}
 			}

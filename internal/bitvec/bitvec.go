@@ -184,6 +184,97 @@ func (b *Bits) ForEach(fn func(i int)) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Word-slice kernels
+//
+// The CJOIN hot path stores tuple bitmaps inline in a per-page []uint64 arena
+// (tuple i owns words [i*stride, (i+1)*stride)) instead of one heap-allocated
+// Bits per tuple. These kernels operate directly on such word slices so the
+// steady-state probe path performs zero allocations. They mirror the Bits
+// methods above: words missing from the shorter operand are treated as zero.
+
+// SetWord sets bit i in w, growing w as needed, and returns the (possibly
+// reallocated) slice.
+func SetWord(w []uint64, i int) []uint64 {
+	for i/wordBits >= len(w) {
+		w = append(w, 0)
+	}
+	w[i/wordBits] |= 1 << uint(i%wordBits)
+	return w
+}
+
+// ClearWord clears bit i in w (no-op beyond capacity).
+func ClearWord(w []uint64, i int) {
+	if i/wordBits < len(w) {
+		w[i/wordBits] &^= 1 << uint(i%wordBits)
+	}
+}
+
+// GetWord reports bit i of w.
+func GetWord(w []uint64, i int) bool {
+	wi := i / wordBits
+	return wi < len(w) && w[wi]&(1<<uint(i%wordBits)) != 0
+}
+
+// AnyWords reports whether any bit of w is set — the "is this tuple still
+// alive" check after each shared join.
+func AnyWords(w []uint64) bool {
+	for _, x := range w {
+		if x != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AndMaskedWords computes dst &= entry | ^mask word-wise: bits inside mask
+// are filtered through entry, bits outside mask pass through unchanged. This
+// is the shared hash-join hit step on inline bitmaps (see Bits.AndMasked).
+func AndMaskedWords(dst, entry, mask []uint64) {
+	for i := range dst {
+		var ew, mw uint64
+		if i < len(entry) {
+			ew = entry[i]
+		}
+		if i < len(mask) {
+			mw = mask[i]
+		}
+		dst[i] &= ew | ^mw
+	}
+}
+
+// AndNotWords computes dst &^= mask word-wise — the shared hash-join miss
+// step: every query referencing the dimension loses the tuple.
+func AndNotWords(dst, mask []uint64) {
+	n := len(dst)
+	if len(mask) < n {
+		n = len(mask)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] &^= mask[i]
+	}
+}
+
+// ForEachWords invokes fn with the index of every set bit of w, ascending.
+func ForEachWords(w []uint64, fn func(i int)) {
+	for wi, x := range w {
+		for x != 0 {
+			tz := bits.TrailingZeros64(x)
+			fn(wi*wordBits + tz)
+			x &= x - 1
+		}
+	}
+}
+
+// CountWords returns the number of set bits of w.
+func CountWords(w []uint64) int {
+	n := 0
+	for _, x := range w {
+		n += bits.OnesCount64(x)
+	}
+	return n
+}
+
 // NextSet returns the index of the first set bit at or after i, or -1.
 func (b *Bits) NextSet(i int) int {
 	if i < 0 {

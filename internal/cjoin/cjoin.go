@@ -22,18 +22,29 @@
 // last, which makes admission and retirement race-free by construction.
 // A query completes when the circular scan wraps around to its admission
 // position — exactly one full sweep per query.
+//
+// The data path is allocation-free in steady state: each pipeline item owns
+// flat arenas (one []uint64 bitmap arena where tuple i holds words
+// [i*stride,(i+1)*stride), one joined-dimension-row arena, one fact-row
+// array) recycled through a sync.Pool; the dimension hash tables are
+// open-addressing over flat entry stores keyed by multiply-shift hashes of
+// the join key; per-query predicates are compiled to closures once at
+// admission; and the distributor carves output rows out of a per-batch datum
+// arena instead of allocating one row per routed tuple.
 package cjoin
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	mathbits "math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/bitvec"
+	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -105,22 +116,81 @@ type ctlMsg struct {
 	sub  *subscription
 }
 
-// factTuple is one fact row in flight, accumulating joined dimension rows
-// and its query bitmap.
-type factTuple struct {
-	fact types.Row
-	dims []types.Row
-	bits *bitvec.Bits
-}
-
 // item is the unit flowing between pipeline stages: control messages that
 // take effect before the page's tuples, the tuples, and control messages
 // that take effect after them (finish markers of queries whose sweep ended
 // with this page).
+//
+// Tuples live in flat arenas so a page costs zero steady-state allocations:
+// tuple i's fact row is facts[i], its query bitmap is the word slice
+// words[i*stride:(i+1)*stride], and its joined row for dimension j is
+// dims[i*ndims+j]. Join stages compact the arenas in place as tuples die.
+// A dims slot is only ever read for a (tuple, query) pair whose bit survived
+// that dimension's stage, which implies the stage's probe hit and wrote the
+// slot on the current page — so stale slots from a recycled item are never
+// observed and need not be cleared.
 type item struct {
-	pre    []ctlMsg
-	tuples []*factTuple
-	post   []ctlMsg
+	pre  []ctlMsg
+	post []ctlMsg
+
+	n      int         // live tuples
+	stride int         // bitmap words per tuple
+	ndims  int         // dimension slots per tuple
+	facts  []types.Row // facts[:n] are the fact rows
+	dims   []types.Row // dims[i*ndims+j]: joined row of dim j for tuple i
+	words  []uint64    // words[i*stride:(i+1)*stride]: tuple i's bitmap
+}
+
+// ensure sizes the arenas for n tuples with the given bitmap stride.
+func (it *item) ensure(n, stride, ndims int) {
+	it.stride, it.ndims = stride, ndims
+	if cap(it.facts) < n {
+		it.facts = make([]types.Row, n)
+	} else {
+		it.facts = it.facts[:n]
+	}
+	if cap(it.dims) < n*ndims {
+		it.dims = make([]types.Row, n*ndims)
+	} else {
+		it.dims = it.dims[:n*ndims]
+	}
+	if cap(it.words) < n*stride {
+		it.words = make([]uint64, n*stride)
+	} else {
+		it.words = it.words[:n*stride]
+	}
+}
+
+// getItem takes a recycled pipeline item from the pool.
+func (op *Operator) getItem() *item {
+	if v := op.itemPool.Get(); v != nil {
+		return v.(*item)
+	}
+	return &item{}
+}
+
+// putItem recycles an item after the distributor is done with it. Control
+// slots and row arenas are zeroed so pooled items do not pin retired
+// subscriptions or decoded fact/dimension pages across idle periods.
+func (op *Operator) putItem(it *item) {
+	for i := range it.pre {
+		it.pre[i] = ctlMsg{}
+	}
+	for i := range it.post {
+		it.post[i] = ctlMsg{}
+	}
+	it.pre, it.post = it.pre[:0], it.post[:0]
+	clear(it.facts[:cap(it.facts)])
+	clear(it.dims[:cap(it.dims)])
+	it.n = 0
+	op.itemPool.Put(it)
+}
+
+// routeCol is one precomputed output column of a subscription: a fact column
+// (dim == -1) or a payload column of the joined dimension row.
+type routeCol struct {
+	dim int // operator dimension index, or -1 for the fact row
+	col int
 }
 
 // subscription is one admitted query.
@@ -128,6 +198,11 @@ type subscription struct {
 	q        *plan.StarQuery
 	factPred func(types.Row) bool // nil means all fact rows qualify
 	dimIdx   []int                // operator dim index per q.Dims entry
+
+	// Precomputed distributor route: output width and flat column map,
+	// derived once at subscription time instead of per routed tuple.
+	outWidth int
+	route    []routeCol
 
 	id        int // bitmap slot, assigned at admission
 	pagesLeft int // fact pages remaining in this query's sweep
@@ -137,7 +212,8 @@ type subscription struct {
 	canceled atomic.Bool
 	err      error // set before out is closed
 
-	pending *batch.Batch // distributor-side accumulation
+	pending *batch.Batch  // distributor-side accumulation
+	arena   []types.Datum // datum backing of pending's rows
 }
 
 // Operator is a running CJOIN pipeline over one fact table and a fixed
@@ -153,6 +229,8 @@ type Operator struct {
 	closeCh   chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	itemPool sync.Pool
 
 	stats struct {
 		admitted, completed, canceled             atomic.Int64
@@ -275,7 +353,9 @@ func (op *Operator) Run(ctx context.Context, q *plan.StarQuery, emit func(*batch
 	}
 }
 
-// newSubscription validates the query against the operator's chain.
+// newSubscription validates the query against the operator's chain and
+// precomputes everything the pipeline needs per tuple: the compiled fact
+// predicate and the distributor's output row layout.
 func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 	if q.Fact != op.fact {
 		return nil, fmt.Errorf("cjoin: query fact table %q does not match GQP fact table %q",
@@ -300,8 +380,20 @@ func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 		sub.dimIdx[i] = idx
 	}
 	if q.FactPred != nil {
-		pred := q.FactPred
-		sub.factPred = func(r types.Row) bool { return pred.Eval(r).Bool() }
+		sub.factPred = expr.Compile(q.FactPred)
+	}
+	sub.outWidth = len(q.FactCols)
+	for _, d := range q.Dims {
+		sub.outWidth += len(d.PayloadCols)
+	}
+	sub.route = make([]routeCol, 0, sub.outWidth)
+	for _, c := range q.FactCols {
+		sub.route = append(sub.route, routeCol{dim: -1, col: c})
+	}
+	for i, d := range q.Dims {
+		for _, c := range d.PayloadCols {
+			sub.route = append(sub.route, routeCol{dim: sub.dimIdx[i], col: c})
+		}
 	}
 	return sub, nil
 }
@@ -317,6 +409,7 @@ func (op *Operator) preprocess(out chan<- *item) {
 	var active []*subscription
 	nextSlot := 0
 	var freeSlots []int
+	ndims := len(op.specs)
 
 	takeSlot := func() int {
 		// Prefer recycled slots to keep bitmaps small.
@@ -357,12 +450,12 @@ func (op *Operator) preprocess(out chan<- *item) {
 	}
 
 	for {
-		var pre []ctlMsg
+		it := op.getItem()
 		if len(active) == 0 {
 			// Idle: block until a query arrives or the operator closes.
 			select {
 			case sub := <-op.admitCh:
-				pre = append(pre, admit(sub))
+				it.pre = append(it.pre, admit(sub))
 			case <-op.closeCh:
 				return
 			}
@@ -372,86 +465,102 @@ func (op *Operator) preprocess(out chan<- *item) {
 		for {
 			select {
 			case sub := <-op.admitCh:
-				pre = append(pre, admit(sub))
+				it.pre = append(it.pre, admit(sub))
 			default:
 				break drainAdmits
 			}
 		}
 
-		var tuples []*factTuple
 		if npages > 0 {
 			t0 := time.Now()
 			rows, err := op.fact.File.Page(pos)
 			if err != nil {
-				// A failed page read aborts every active query.
+				// A failed page read aborts every active query; errors are
+				// delivered through finish markers.
 				for _, sub := range active {
 					sub.err = err
+					it.post = append(it.post, ctlMsg{kind: ctlFinish, sub: sub})
 				}
-				// Deliver errors through finish markers.
-				var post []ctlMsg
-				for _, sub := range active {
-					post = append(post, ctlMsg{kind: ctlFinish, sub: sub})
+				active = active[:0]
+				if !send(it) {
+					return
 				}
-				active = nil
-				send(&item{pre: pre, post: post})
 				continue
 			}
 			pos = (pos + 1) % npages
 			op.stats.pagesScanned.Add(1)
 			op.stats.factTuplesIn.Add(int64(len(rows)))
-
-			tuples = make([]*factTuple, 0, len(rows))
-			for _, r := range rows {
-				bits := bitvec.New(nextSlot)
-				for _, sub := range active {
-					if sub.canceled.Load() {
-						continue
-					}
-					if sub.factPred == nil || sub.factPred(r) {
-						bits.Set(sub.id)
-					}
-				}
-				if !bits.Any() {
-					op.stats.droppedAtScan.Add(1)
-					continue
-				}
-				tuples = append(tuples, &factTuple{
-					fact: r,
-					dims: make([]types.Row, len(op.specs)),
-					bits: bits,
-				})
-			}
+			op.annotate(it, rows, active, nextSlot, ndims)
 			op.addBusy(time.Since(t0))
 		}
 
 		// Retire queries whose sweep ended with this page (or that canceled).
-		var post []ctlMsg
 		remaining := active[:0]
 		for _, sub := range active {
 			sub.pagesLeft--
 			if sub.pagesLeft <= 0 || sub.canceled.Load() {
-				post = append(post, ctlMsg{kind: ctlFinish, sub: sub})
+				it.post = append(it.post, ctlMsg{kind: ctlFinish, sub: sub})
 			} else {
 				remaining = append(remaining, sub)
 			}
 		}
 		active = remaining
 
-		if !send(&item{pre: pre, tuples: tuples, post: post}) {
+		if !send(it) {
 			return
 		}
 	}
 }
 
-// dimEntry is one dimension tuple in a stage hash table.
-type dimEntry struct {
-	row  types.Row
-	bits *bitvec.Bits
+// annotate fills it with the page's tuples that satisfy at least one active
+// query's fact predicate, writing each survivor's query bitmap into the flat
+// word arena. This is the steady-state preprocessor hot path: it performs no
+// allocations once the item's arenas have warmed to the page size.
+func (op *Operator) annotate(it *item, rows []types.Row, active []*subscription, nextSlot, ndims int) {
+	stride := (nextSlot + 63) / 64
+	if stride == 0 {
+		stride = 1
+	}
+	it.ensure(len(rows), stride, ndims)
+	n := 0
+	var dropped int64
+	for _, r := range rows {
+		tw := it.words[n*stride : (n+1)*stride]
+		for j := range tw {
+			tw[j] = 0
+		}
+		for _, sub := range active {
+			if sub.canceled.Load() {
+				continue
+			}
+			if sub.factPred == nil || sub.factPred(r) {
+				tw[uint(sub.id)>>6] |= 1 << (uint(sub.id) & 63)
+			}
+		}
+		if !bitvec.AnyWords(tw) {
+			dropped++
+			continue
+		}
+		it.facts[n] = r
+		n++
+	}
+	it.n = n
+	if dropped > 0 {
+		op.stats.droppedAtScan.Add(dropped)
+	}
 }
 
 // joinStage is one shared hash-join of the chain. All its state is owned by
 // its goroutine; admission/finish markers arriving in stream order make
 // bitmap updates race-free.
+//
+// The dimension table is an open-addressing, power-of-two, linear-probing
+// index over flat parallel entry stores: keys[i]/rows[i] hold entry i, and
+// slots maps a probed hash to an entry index (+1; 0 means empty). Duplicate
+// join keys keep the first inserted entry reachable, matching the chained
+// map's first-match semantics. Entry bitmaps live in one contiguous arena —
+// entry i owns ebits[i*estride:(i+1)*estride) — so admission and retirement
+// sweep a flat array instead of chasing per-entry pointers.
 type joinStage struct {
 	idx  int
 	spec DimSpec
@@ -459,37 +568,106 @@ type joinStage struct {
 	in   <-chan *item
 	out  chan<- *item
 
-	table map[uint64][]*dimEntry
-	mask  *bitvec.Bits // queries referencing this dimension
+	keys     []types.Datum // entry join keys
+	rows     []types.Row   // entry dimension rows
+	slots    []int32       // open-addressing slots: entry index+1, 0 = empty
+	slotMask uint32        // len(slots)-1 (power of two)
+	ebits    []uint64      // entry bitmap arena
+	estride  int           // words per entry bitmap
+	mask     []uint64      // queries referencing this dimension
 }
 
-const hashSeed uint64 = 14695981039346656037
-
 func newJoinStage(idx int, spec DimSpec, op *Operator) (*joinStage, error) {
-	rows, err := spec.Table.File.AllRows()
+	all, err := spec.Table.File.AllRows()
 	if err != nil {
 		return nil, fmt.Errorf("cjoin: build hash table for %q: %w", spec.Table.Name, err)
 	}
 	st := &joinStage{
-		idx:   idx,
-		spec:  spec,
-		op:    op,
-		table: make(map[uint64][]*dimEntry, len(rows)),
-		mask:  bitvec.New(64),
+		idx:     idx,
+		spec:    spec,
+		op:      op,
+		estride: 1,
+		mask:    make([]uint64, 1),
 	}
-	for _, r := range rows {
+	for _, r := range all {
 		k := r[spec.DimKeyCol]
 		if k.IsNull() {
 			continue
 		}
-		h := k.Hash(hashSeed)
-		st.table[h] = append(st.table[h], &dimEntry{row: r, bits: bitvec.New(64)})
+		st.keys = append(st.keys, k)
+		st.rows = append(st.rows, r)
 	}
+	n := len(st.keys)
+	if n >= 1<<30 {
+		return nil, fmt.Errorf("cjoin: dimension %q too large (%d rows)", spec.Table.Name, n)
+	}
+	size := uint32(16)
+	for int(size) < 2*n {
+		size <<= 1
+	}
+	st.slots = make([]int32, size)
+	st.slotMask = size - 1
+	for i := 0; i < n; i++ {
+		h := uint32(st.keys[i].HashKey()) & st.slotMask
+		for {
+			s := st.slots[h]
+			if s == 0 {
+				st.slots[h] = int32(i + 1)
+				break
+			}
+			if st.keys[s-1].Equal(st.keys[i]) {
+				break // duplicate key: the first inserted entry stays reachable
+			}
+			h = (h + 1) & st.slotMask
+		}
+	}
+	st.ebits = make([]uint64, n*st.estride)
 	return st, nil
 }
 
+// lookup returns the entry index joining key k, or -1. Integer keys — the
+// star-schema common case — compare without the generic Datum path.
+func (st *joinStage) lookup(k types.Datum) int {
+	h := uint32(k.HashKey()) & st.slotMask
+	for {
+		s := st.slots[h]
+		if s == 0 {
+			return -1
+		}
+		ek := st.keys[s-1]
+		var eq bool
+		if ek.K == types.KindInt && k.K == types.KindInt {
+			eq = ek.I == k.I
+		} else {
+			eq = ek.Equal(k)
+		}
+		if eq {
+			return int(s - 1)
+		}
+		h = (h + 1) & st.slotMask
+	}
+}
+
+// growTo makes slot id addressable in the entry bitmap arena and the stage
+// mask, re-striding the arena when the query population outgrows it.
+func (st *joinStage) growTo(id int) {
+	need := id/64 + 1
+	if need > st.estride {
+		n := len(st.rows)
+		nb := make([]uint64, n*need)
+		for i := 0; i < n; i++ {
+			copy(nb[i*need:], st.ebits[i*st.estride:(i+1)*st.estride])
+		}
+		st.ebits, st.estride = nb, need
+	}
+	for need > len(st.mask) {
+		st.mask = append(st.mask, 0)
+	}
+}
+
 // admitQuery installs the query's bits in this stage: entry bitmaps for
-// every dimension tuple satisfying its predicate, and the stage mask.
+// every dimension tuple satisfying its (compiled) predicate, and the stage
+// mask.
 func (st *joinStage) admitQuery(sub *subscription) {
 	var pred func(types.Row) bool
 	references := false
@@ -497,8 +675,7 @@ func (st *joinStage) admitQuery(sub *subscription) {
 		if sub.dimIdx[i] == st.idx {
 			references = true
 			if d.Pred != nil {
-				p := d.Pred
-				pred = func(r types.Row) bool { return p.Eval(r).Bool() }
+				pred = expr.Compile(d.Pred)
 			}
 			break
 		}
@@ -506,26 +683,76 @@ func (st *joinStage) admitQuery(sub *subscription) {
 	if !references {
 		return // bits outside the mask pass through unchanged
 	}
-	st.mask.Set(sub.id)
-	for _, chain := range st.table {
-		for _, e := range chain {
-			if pred == nil || pred(e.row) {
-				e.bits.Set(sub.id)
-			}
+	st.growTo(sub.id)
+	w, bit := sub.id/64, uint64(1)<<(uint(sub.id)&63)
+	st.mask[w] |= bit
+	es := st.estride
+	for i, r := range st.rows {
+		if pred == nil || pred(r) {
+			st.ebits[i*es+w] |= bit
 		}
 	}
 }
 
 // finishQuery removes the query's bits from this stage.
 func (st *joinStage) finishQuery(sub *subscription) {
-	if !st.mask.Get(sub.id) {
+	if !bitvec.GetWord(st.mask, sub.id) {
 		return
 	}
-	st.mask.Clear(sub.id)
-	for _, chain := range st.table {
-		for _, e := range chain {
-			e.bits.Clear(sub.id)
+	bitvec.ClearWord(st.mask, sub.id)
+	w, bit := sub.id/64, uint64(1)<<(uint(sub.id)&63)
+	es := st.estride
+	for i := range st.rows {
+		st.ebits[i*es+w] &^= bit
+	}
+}
+
+// processTuples probes every live tuple of it against the dimension table,
+// folds the matching entry bitmap (or the stage mask, on a miss) into the
+// tuple's inline bitmap, and compacts the item's arenas in place as tuples
+// die. This is the steady-state join hot path: zero allocations per tuple.
+func (st *joinStage) processTuples(it *item) {
+	stride, nd := it.stride, it.ndims
+	es := st.estride
+	var probes, misses, dropped int64
+	n := 0
+	for i := 0; i < it.n; i++ {
+		tw := it.words[i*stride : (i+1)*stride]
+		k := it.facts[i][st.spec.FactKeyCol]
+		probes++
+		ei := -1
+		if !k.IsNull() {
+			ei = st.lookup(k)
 		}
+		if ei >= 0 {
+			bitvec.AndMaskedWords(tw, st.ebits[ei*es:(ei+1)*es], st.mask)
+		} else {
+			misses++
+			bitvec.AndNotWords(tw, st.mask)
+		}
+		if !bitvec.AnyWords(tw) {
+			dropped++
+			continue
+		}
+		if n != i {
+			it.facts[n] = it.facts[i]
+			copy(it.dims[n*nd:(n+1)*nd], it.dims[i*nd:(i+1)*nd])
+			copy(it.words[n*stride:(n+1)*stride], tw)
+		}
+		if ei >= 0 {
+			it.dims[n*nd+st.idx] = st.rows[ei]
+		}
+		n++
+	}
+	it.n = n
+	if probes > 0 {
+		st.op.stats.probes.Add(probes)
+	}
+	if misses > 0 {
+		st.op.stats.probeMisses.Add(misses)
+	}
+	if dropped > 0 {
+		st.op.stats.droppedInChain.Add(dropped)
 	}
 }
 
@@ -540,33 +767,7 @@ func (st *joinStage) run() {
 				st.admitQuery(c.sub)
 			}
 		}
-		kept := it.tuples[:0]
-		for _, t := range it.tuples {
-			k := t.fact[st.spec.FactKeyCol]
-			st.op.stats.probes.Add(1)
-			var hit *dimEntry
-			if !k.IsNull() {
-				for _, e := range st.table[k.Hash(hashSeed)] {
-					if e.row[st.spec.DimKeyCol].Equal(k) {
-						hit = e
-						break
-					}
-				}
-			}
-			if hit != nil {
-				t.dims[st.idx] = hit.row
-				t.bits.AndMasked(hit.bits, st.mask)
-			} else {
-				st.op.stats.probeMisses.Add(1)
-				t.bits.AndNot(st.mask)
-			}
-			if t.bits.Any() {
-				kept = append(kept, t)
-			} else {
-				st.op.stats.droppedInChain.Add(1)
-			}
-		}
-		it.tuples = kept
+		st.processTuples(it)
 		for _, c := range it.post {
 			if c.kind == ctlFinish {
 				st.finishQuery(c.sub)
@@ -582,20 +783,25 @@ func (st *joinStage) run() {
 }
 
 // distributor fans joined tuples out to the queries named in their bitmaps
-// and retires queries when their finish markers arrive.
+// and retires queries when their finish markers arrive. Subscriptions are
+// indexed by bitmap slot in a flat slice, and output rows are carved out of
+// a per-batch datum arena, so routing a tuple allocates nothing.
 type distributor struct {
-	op   *Operator
-	in   <-chan *item
-	subs map[int]*subscription
+	op     *Operator
+	in     <-chan *item
+	subs   []*subscription // slot id → active subscription (nil when free)
+	routed int64           // deliveries since the last counter flush
 }
 
-// deliver flushes sub's pending batch to its output channel.
+// deliver flushes sub's pending batch to its output channel. The batch and
+// its arena transfer ownership downstream; a fresh arena is allocated for
+// the next batch (batches handed off are immutable and may be retained).
 func (d *distributor) deliver(sub *subscription) {
 	if sub.pending == nil || sub.pending.Len() == 0 {
 		return
 	}
 	b := sub.pending
-	sub.pending = nil
+	sub.pending, sub.arena = nil, nil
 	select {
 	case sub.out <- b:
 	case <-sub.cancelCh:
@@ -603,30 +809,30 @@ func (d *distributor) deliver(sub *subscription) {
 	}
 }
 
-// route appends the joined output row for sub.
-func (d *distributor) route(sub *subscription, t *factTuple) {
+// route appends the joined output row for sub, following the route map
+// precomputed at subscription time.
+func (d *distributor) route(sub *subscription, it *item, ti int) {
 	if sub.canceled.Load() {
 		return
 	}
-	width := len(sub.q.FactCols)
-	for _, dj := range sub.q.Dims {
-		width += len(dj.PayloadCols)
-	}
-	row := make(types.Row, 0, width)
-	for _, c := range sub.q.FactCols {
-		row = append(row, t.fact[c])
-	}
-	for i, dj := range sub.q.Dims {
-		dimRow := t.dims[sub.dimIdx[i]]
-		for _, c := range dj.PayloadCols {
-			row = append(row, dimRow[c])
-		}
-	}
 	if sub.pending == nil {
 		sub.pending = batch.New(d.op.cfg.BatchSize)
+		sub.arena = make([]types.Datum, 0, d.op.cfg.BatchSize*sub.outWidth)
 	}
-	sub.pending.Append(row)
-	d.op.stats.tuplesRouted.Add(1)
+	a := sub.arena
+	base := len(a)
+	fact := it.facts[ti]
+	dimBase := ti * it.ndims
+	for _, rc := range sub.route {
+		if rc.dim < 0 {
+			a = append(a, fact[rc.col])
+		} else {
+			a = append(a, it.dims[dimBase+rc.dim][rc.col])
+		}
+	}
+	sub.arena = a
+	sub.pending.Append(types.Row(a[base:len(a):len(a)]))
+	d.routed++
 	if sub.pending.Full() {
 		d.deliver(sub)
 	}
@@ -641,7 +847,9 @@ func (d *distributor) finish(sub *subscription) {
 		d.op.stats.completed.Add(1)
 	}
 	close(sub.out)
-	delete(d.subs, sub.id)
+	if sub.id < len(d.subs) {
+		d.subs[sub.id] = nil
+	}
 	select {
 	case d.op.freeCh <- sub.id:
 	default: // free list full; the slot is simply not reused
@@ -651,30 +859,48 @@ func (d *distributor) finish(sub *subscription) {
 // run processes items until the upstream closes.
 func (d *distributor) run() {
 	defer d.op.wg.Done()
-	d.subs = make(map[int]*subscription)
 	for it := range d.in {
 		t0 := time.Now()
 		for _, c := range it.pre {
 			if c.kind == ctlAdmit {
+				for c.sub.id >= len(d.subs) {
+					d.subs = append(d.subs, nil)
+				}
 				d.subs[c.sub.id] = c.sub
 			}
 		}
-		for _, t := range it.tuples {
-			t.bits.ForEach(func(id int) {
-				if sub, ok := d.subs[id]; ok {
-					d.route(sub, t)
+		stride := it.stride
+		for i := 0; i < it.n; i++ {
+			tw := it.words[i*stride : (i+1)*stride]
+			for wi, w := range tw {
+				for w != 0 {
+					id := wi*64 + mathbits.TrailingZeros64(w)
+					w &= w - 1
+					if id < len(d.subs) {
+						if sub := d.subs[id]; sub != nil {
+							d.route(sub, it, i)
+						}
+					}
 				}
-			})
+			}
 		}
 		for _, c := range it.post {
 			if c.kind == ctlFinish {
 				d.finish(c.sub)
 			}
 		}
+		if d.routed > 0 {
+			d.op.stats.tuplesRouted.Add(d.routed)
+			d.routed = 0
+		}
 		d.op.addBusy(time.Since(t0))
+		d.op.putItem(it)
 	}
 	// Pipeline shut down: fail whatever is still active.
 	for _, sub := range d.subs {
+		if sub == nil {
+			continue
+		}
 		sub.err = ErrClosed
 		d.deliver(sub)
 		close(sub.out)

@@ -25,7 +25,7 @@ import (
 //
 // Fact foreign keys deliberately include values with no matching dimension
 // row (ck = 10, pk = 20) to exercise probe misses.
-func starDB(t *testing.T, n int) *storage.Catalog {
+func starDB(t testing.TB, n int) *storage.Catalog {
 	t.Helper()
 	cat := storage.NewCatalog(storage.NewMemDisk(storage.DiskProfile{}), 512, true)
 
@@ -93,7 +93,7 @@ func starDB(t *testing.T, n int) *storage.Catalog {
 	return cat
 }
 
-func newOp(t *testing.T, cat *storage.Catalog) *Operator {
+func newOp(t testing.TB, cat *storage.Catalog) *Operator {
 	t.Helper()
 	op, err := NewOperator(cat.MustTable("lo"), []DimSpec{
 		{Table: cat.MustTable("cust"), FactKeyCol: 1, DimKeyCol: 0},

@@ -1,0 +1,275 @@
+package cjoin
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// bareOp builds an operator shell sufficient for driving the preprocessor
+// annotate path and join-stage probe path directly, without starting the
+// pipeline goroutines.
+func bareOp(t testing.TB, cat *storage.Catalog) *Operator {
+	t.Helper()
+	op := &Operator{
+		fact: cat.MustTable("lo"),
+		specs: []DimSpec{
+			{Table: cat.MustTable("cust"), FactKeyCol: 1, DimKeyCol: 0},
+			{Table: cat.MustTable("part"), FactKeyCol: 2, DimKeyCol: 0},
+		},
+		byName: map[string]int{"cust": 0, "part": 1},
+		cfg:    Config{}.withDefaults(),
+	}
+	return op
+}
+
+// refLookup replicates the seed's chained-map probe: first entry in
+// insertion order whose key equals k.
+type refLookup struct {
+	chains map[uint64][]int
+	keys   []types.Datum
+}
+
+func newRefLookup(keys []types.Datum) *refLookup {
+	const seed uint64 = 14695981039346656037
+	r := &refLookup{chains: make(map[uint64][]int), keys: keys}
+	for i, k := range keys {
+		h := k.Hash(seed)
+		r.chains[h] = append(r.chains[h], i)
+	}
+	return r
+}
+
+func (r *refLookup) lookup(k types.Datum) int {
+	const seed uint64 = 14695981039346656037
+	for _, i := range r.chains[k.Hash(seed)] {
+		if r.keys[i].Equal(k) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestOpenAddressingMatchesChainedMap checks the open-addressing dimension
+// table against the seed's chained-map semantics: same entry for every
+// present key (first-match on duplicates), miss for every absent key —
+// for integer and string keys alike.
+func TestOpenAddressingMatchesChainedMap(t *testing.T) {
+	cat := storage.NewCatalog(storage.NewMemDisk(storage.DiskProfile{}), 64, true)
+	dim, err := cat.CreateTable("d", types.NewSchema(
+		types.Column{Name: "k", Kind: types.KindString},
+		types.Column{Name: "v", Kind: types.KindInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate keys (every 7th repeats) and a NULL key that must be skipped.
+	for i := 0; i < 200; i++ {
+		key := types.NewString(fmt.Sprintf("key-%d", i%140))
+		if i == 13 {
+			key = types.Null
+		}
+		if err := dim.File.Append(types.Row{key, types.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dim.File.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := newJoinStage(0, DimSpec{Table: dim, FactKeyCol: 0, DimKeyCol: 0}, &Operator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefLookup(st.keys)
+
+	for i := 0; i < 160; i++ {
+		k := types.NewString(fmt.Sprintf("key-%d", i)) // 140..159 are misses
+		got, want := st.lookup(k), ref.lookup(k)
+		if got != want {
+			t.Errorf("lookup(%v) = %d, want %d", k, got, want)
+		}
+	}
+	if got := st.lookup(types.NewInt(5)); got != ref.lookup(types.NewInt(5)) {
+		t.Errorf("cross-kind lookup mismatch: %d", got)
+	}
+
+	// Integer keys through the multiply-shift fast path.
+	cat2 := starDB(t, 500)
+	st2, err := newJoinStage(0, DimSpec{Table: cat2.MustTable("part"), FactKeyCol: 2, DimKeyCol: 0}, &Operator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2 := newRefLookup(st2.keys)
+	for i := -5; i < 30; i++ {
+		k := types.NewInt(int64(i))
+		if got, want := st2.lookup(k), ref2.lookup(k); got != want {
+			t.Errorf("int lookup(%d) = %d, want %d", i, got, want)
+		}
+		// Integral floats must find the same entry as their int counterpart.
+		f := types.NewFloat(float64(i))
+		if got, want := st2.lookup(f), ref2.lookup(f); got != want {
+			t.Errorf("float lookup(%v) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+// annotatedItem builds a warmed item holding one annotated fact page.
+func annotatedItem(t testing.TB, op *Operator, subs []*subscription) (*item, []types.Row) {
+	t.Helper()
+	rows, err := op.fact.File.Page(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := &item{}
+	op.annotate(it, rows, subs, len(subs), len(op.specs))
+	if it.n == 0 {
+		t.Fatal("annotate kept no tuples")
+	}
+	return it, rows
+}
+
+func testSubs(t testing.TB, op *Operator, cat *storage.Catalog) []*subscription {
+	t.Helper()
+	subs := make([]*subscription, 0, 2)
+	for i, q := range []*plan.StarQuery{
+		asiaEuropeQuery(cat, 3, 20),
+		asiaEuropeQuery(cat, 2, 50),
+	} {
+		sub, err := op.newSubscription(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub.id = i
+		subs = append(subs, sub)
+	}
+	return subs
+}
+
+// TestAnnotateZeroAllocs locks in the preprocessor's steady-state allocation
+// profile: once the item arenas are warm, annotating a page allocates
+// nothing.
+func TestAnnotateZeroAllocs(t *testing.T) {
+	cat := starDB(t, 4000)
+	op := bareOp(t, cat)
+	subs := testSubs(t, op, cat)
+	it, rows := annotatedItem(t, op, subs) // warm-up
+
+	allocs := testing.AllocsPerRun(100, func() {
+		op.annotate(it, rows, subs, len(subs), len(op.specs))
+	})
+	if allocs != 0 {
+		t.Errorf("annotate allocates %v objects per page in steady state, want 0", allocs)
+	}
+}
+
+// TestProbePathZeroAllocs locks in the join-stage steady state: probing and
+// compacting a full page of tuples allocates nothing.
+func TestProbePathZeroAllocs(t *testing.T) {
+	cat := starDB(t, 4000)
+	op := bareOp(t, cat)
+	subs := testSubs(t, op, cat)
+	master, _ := annotatedItem(t, op, subs)
+
+	st, err := newJoinStage(0, op.specs[0], op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range subs {
+		st.admitQuery(sub)
+	}
+	work := &item{}
+	reload := func() {
+		work.ensure(master.n, master.stride, master.ndims)
+		copy(work.facts, master.facts[:master.n])
+		copy(work.words, master.words[:master.n*master.stride])
+		work.n = master.n
+	}
+	reload()
+	st.processTuples(work) // warm-up
+
+	allocs := testing.AllocsPerRun(100, func() {
+		reload()
+		st.processTuples(work)
+	})
+	if allocs != 0 {
+		t.Errorf("probe path allocates %v objects per page in steady state, want 0", allocs)
+	}
+}
+
+// TestCompiledPredsMatchInterpretedInPipeline runs the same star queries with
+// compiled predicates (the only mode) against the naive interpreted
+// reference, exercising fact and dimension predicates end to end.
+func TestCompiledPredsMatchInterpretedInPipeline(t *testing.T) {
+	cat := starDB(t, 2500)
+	op := newOp(t, cat)
+	for _, q := range []*plan.StarQuery{
+		asiaEuropeQuery(cat, 3, 20),
+		{
+			Fact:     cat.MustTable("lo"),
+			FactPred: expr.NewBetween(expr.C(0, "lo_id"), expr.Int(100), expr.Int(900)),
+			FactCols: []int{0, 3},
+			Dims: []plan.DimJoin{{
+				Table: cat.MustTable("cust"), FactKeyCol: 1, DimKeyCol: 0,
+				Pred:        expr.NewCmp(expr.NE, expr.C(1, "region"), expr.Str("ASIA")),
+				PayloadCols: []int{1},
+			}},
+		},
+	} {
+		mustEqualRows(t, runStar(t, op, q), evalStarNaive(t, q))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks for the two steady-state hot loops. Both must report
+// 0 allocs/op.
+
+// BenchmarkCJoinProbe measures the shared hash-join probe path: one fact
+// page probed through one dimension stage, including bitmap folding and
+// in-place compaction.
+func BenchmarkCJoinProbe(b *testing.B) {
+	cat := starDB(b, 4000)
+	op := bareOp(b, cat)
+	subs := testSubs(b, op, cat)
+	master, _ := annotatedItem(b, op, subs)
+
+	st, err := newJoinStage(0, op.specs[0], op)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sub := range subs {
+		st.admitQuery(sub)
+	}
+	work := &item{}
+	work.ensure(master.n, master.stride, master.ndims)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work.facts[:master.n], master.facts)
+		copy(work.words[:master.n*master.stride], master.words)
+		work.n = master.n
+		st.processTuples(work)
+	}
+	b.ReportMetric(float64(master.n), "tuples/op")
+}
+
+// BenchmarkPreprocessAnnotate measures the preprocessor's per-page work:
+// evaluating every active query's compiled fact predicate against every
+// tuple and writing the inline bitmaps.
+func BenchmarkPreprocessAnnotate(b *testing.B) {
+	cat := starDB(b, 4000)
+	op := bareOp(b, cat)
+	subs := testSubs(b, op, cat)
+	it, rows := annotatedItem(b, op, subs)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.annotate(it, rows, subs, len(subs), len(op.specs))
+	}
+	b.ReportMetric(float64(len(rows)), "tuples/op")
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/types"
 )
@@ -46,6 +47,10 @@ func (e *Engine) runOperator(ctx context.Context, p *Packet, inputs []Reader, w 
 func (e *Engine) opScan(ctx context.Context, n *plan.Scan, w Writer, st *Stage) error {
 	cur := n.Table.Attach()
 	defer cur.Close()
+	var pred func(types.Row) bool
+	if n.Pred != nil {
+		pred = expr.Compile(n.Pred)
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -60,10 +65,13 @@ func (e *Engine) opScan(ctx context.Context, n *plan.Scan, w Writer, st *Stage) 
 			st.addBusy(time.Since(t0))
 			return nil
 		}
-		if n.Pred != nil {
-			kept := rows[:0]
+		if pred != nil {
+			// The page slice is the pool's shared decoded-row cache: filter
+			// into a fresh slice (the batch is handed downstream and may be
+			// retained, so a reused scratch would alias live batches).
+			var kept []types.Row
 			for _, r := range rows {
-				if n.Pred.Eval(r).Bool() {
+				if pred(r) {
 					kept = append(kept, r)
 				}
 			}
@@ -133,9 +141,11 @@ func (em *emitter) flush(ctx context.Context) error {
 	return em.w.Put(ctx, b)
 }
 
-// opFilter keeps rows satisfying the predicate.
+// opFilter keeps rows satisfying the predicate, compiled once per packet.
 func (e *Engine) opFilter(ctx context.Context, n *plan.Filter, in Reader, w Writer, st *Stage) error {
 	em := newEmitter(w, e.cfg.BatchSize)
+	pred := expr.Compile(n.Pred)
+	var kept []types.Row
 	for {
 		b, err := in.Next(ctx)
 		if err == io.EOF {
@@ -145,9 +155,9 @@ func (e *Engine) opFilter(ctx context.Context, n *plan.Filter, in Reader, w Writ
 			return err
 		}
 		t0 := time.Now()
-		var kept []types.Row
+		kept = kept[:0]
 		for _, r := range b.Rows {
-			if n.Pred.Eval(r).Bool() {
+			if pred(r) {
 				kept = append(kept, r)
 			}
 		}
@@ -317,6 +327,9 @@ type aggGroup struct {
 func (e *Engine) opAggregate(ctx context.Context, n *plan.Aggregate, in Reader, w Writer, st *Stage) error {
 	groups := make(map[uint64][]*aggGroup)
 	ngroups := 0
+	// One scratch key reused across rows; it is cloned only when a new group
+	// materializes, so grouping allocates per group, not per row.
+	key := make(types.Row, len(n.GroupBy))
 	for {
 		b, err := in.Next(ctx)
 		if err == io.EOF {
@@ -327,7 +340,6 @@ func (e *Engine) opAggregate(ctx context.Context, n *plan.Aggregate, in Reader, 
 		}
 		t0 := time.Now()
 		for _, r := range b.Rows {
-			key := make(types.Row, len(n.GroupBy))
 			for i, g := range n.GroupBy {
 				key[i] = g.Expr.Eval(r)
 			}
@@ -340,7 +352,7 @@ func (e *Engine) opAggregate(ctx context.Context, n *plan.Aggregate, in Reader, 
 				}
 			}
 			if grp == nil {
-				grp = &aggGroup{key: key, accs: make([]aggAcc, len(n.Aggs))}
+				grp = &aggGroup{key: key.Clone(), accs: make([]aggAcc, len(n.Aggs))}
 				groups[h] = append(groups[h], grp)
 				ngroups++
 			}

@@ -1,0 +1,256 @@
+package expr
+
+import "repro/internal/types"
+
+// Compile translates a predicate expression into a closure with the same
+// semantics as e.Eval(row).Bool(). The CJOIN hot path evaluates predicates
+// once per fact tuple per active query (preprocessor) and once per dimension
+// tuple per admission (shared hash-joins); compiling collapses the
+// interpreted tree walk — one interface dispatch and Datum boxing per node —
+// into direct closures, with hand-specialized fast paths for the shapes that
+// dominate SSB/TPC-H predicates: Cmp(col, const), Between(col, const,
+// const), In(col, literals) and their And/Or/Not combinations. Any shape
+// without a fast path falls back to the interpreted Eval, so Compile is
+// total and exactly equivalent by construction.
+func Compile(e Expr) func(types.Row) bool {
+	switch x := e.(type) {
+	case Cmp:
+		return compileCmp(x)
+	case Between:
+		return compileBetween(x)
+	case In:
+		return compileIn(x)
+	case And:
+		l, r := Compile(x.L), Compile(x.R)
+		return func(row types.Row) bool { return l(row) && r(row) }
+	case Or:
+		l, r := Compile(x.L), Compile(x.R)
+		return func(row types.Row) bool { return l(row) || r(row) }
+	case Not:
+		f := Compile(x.E)
+		return func(row types.Row) bool { return !f(row) }
+	case Const:
+		v := x.D.Bool()
+		return func(types.Row) bool { return v }
+	case Col:
+		idx := x.Idx
+		return func(row types.Row) bool { return row[idx].Bool() }
+	default:
+		return func(row types.Row) bool { return e.Eval(row).Bool() }
+	}
+}
+
+// intClass reports whether a kind compares through the int64 payload.
+func intClass(k types.Kind) bool {
+	return k == types.KindInt || k == types.KindDate || k == types.KindBool
+}
+
+// cmpHolds reports whether a three-way comparison result satisfies op.
+func cmpHolds(op CmpOp, cv int) bool {
+	switch op {
+	case EQ:
+		return cv == 0
+	case NE:
+		return cv != 0
+	case LT:
+		return cv < 0
+	case LE:
+		return cv <= 0
+	case GT:
+		return cv > 0
+	default:
+		return cv >= 0
+	}
+}
+
+// mirror maps op to the operator with swapped operands: a op b == b mirror(op) a.
+func mirror(op CmpOp) CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default: // EQ, NE are symmetric
+		return op
+	}
+}
+
+func compileCmp(c Cmp) func(types.Row) bool {
+	if col, ok := c.L.(Col); ok {
+		if k, ok := c.R.(Const); ok {
+			return compileCmpColConst(c.Op, col.Idx, k.D)
+		}
+	}
+	if k, ok := c.L.(Const); ok {
+		if col, ok := c.R.(Col); ok {
+			return compileCmpColConst(mirror(c.Op), col.Idx, k.D)
+		}
+	}
+	op, l, r := c.Op, c.L, c.R
+	return func(row types.Row) bool {
+		lv, rv := l.Eval(row), r.Eval(row)
+		if lv.IsNull() || rv.IsNull() {
+			return false
+		}
+		return cmpHolds(op, lv.Compare(rv))
+	}
+}
+
+// compileCmpColConst specializes col op const — the single most common
+// predicate shape — with a branch-free int64 comparison when both sides are
+// integer-class (int, date, bool).
+func compileCmpColConst(op CmpOp, idx int, k types.Datum) func(types.Row) bool {
+	if k.IsNull() {
+		return func(types.Row) bool { return false }
+	}
+	if intClass(k.K) {
+		ki := k.I
+		return func(row types.Row) bool {
+			d := row[idx]
+			if intClass(d.K) {
+				var cv int
+				switch {
+				case d.I < ki:
+					cv = -1
+				case d.I > ki:
+					cv = 1
+				}
+				return cmpHolds(op, cv)
+			}
+			if d.K == types.KindNull {
+				return false
+			}
+			return cmpHolds(op, d.Compare(k))
+		}
+	}
+	if k.K == types.KindString {
+		ks := k.S
+		return func(row types.Row) bool {
+			d := row[idx]
+			if d.K == types.KindString {
+				var cv int
+				switch {
+				case d.S < ks:
+					cv = -1
+				case d.S > ks:
+					cv = 1
+				}
+				return cmpHolds(op, cv)
+			}
+			if d.K == types.KindNull {
+				return false
+			}
+			return cmpHolds(op, d.Compare(k))
+		}
+	}
+	return func(row types.Row) bool {
+		d := row[idx]
+		if d.K == types.KindNull {
+			return false
+		}
+		return cmpHolds(op, d.Compare(k))
+	}
+}
+
+func compileBetween(b Between) func(types.Row) bool {
+	col, okE := b.E.(Col)
+	lo, okLo := b.Lo.(Const)
+	hi, okHi := b.Hi.(Const)
+	if okE && okLo && okHi && !lo.D.IsNull() && !hi.D.IsNull() {
+		idx, loD, hiD := col.Idx, lo.D, hi.D
+		if intClass(loD.K) && intClass(hiD.K) {
+			loI, hiI := loD.I, hiD.I
+			return func(row types.Row) bool {
+				d := row[idx]
+				if intClass(d.K) {
+					return d.I >= loI && d.I <= hiI
+				}
+				if d.K == types.KindNull {
+					return false
+				}
+				return d.Compare(loD) >= 0 && d.Compare(hiD) <= 0
+			}
+		}
+		return func(row types.Row) bool {
+			d := row[idx]
+			if d.K == types.KindNull {
+				return false
+			}
+			return d.Compare(loD) >= 0 && d.Compare(hiD) <= 0
+		}
+	}
+	e, loE, hiE := b.E, b.Lo, b.Hi
+	return func(row types.Row) bool {
+		v, lv, hv := e.Eval(row), loE.Eval(row), hiE.Eval(row)
+		if v.IsNull() || lv.IsNull() || hv.IsNull() {
+			return false
+		}
+		return v.Compare(lv) >= 0 && v.Compare(hv) <= 0
+	}
+}
+
+func compileIn(in In) func(types.Row) bool {
+	col, okCol := in.E.(Col)
+	allInt, allStr := true, true
+	for _, d := range in.Set {
+		if !intClass(d.K) {
+			allInt = false
+		}
+		if d.K != types.KindString {
+			allStr = false
+		}
+	}
+	set := in.Set
+	if okCol && allInt && len(set) > 0 {
+		idx := col.Idx
+		ints := make(map[int64]struct{}, len(set))
+		for _, d := range set {
+			ints[d.I] = struct{}{}
+		}
+		return func(row types.Row) bool {
+			d := row[idx]
+			if intClass(d.K) {
+				_, ok := ints[d.I]
+				return ok
+			}
+			return inSlow(d, set)
+		}
+	}
+	if okCol && allStr && len(set) > 0 {
+		idx := col.Idx
+		strs := make(map[string]struct{}, len(set))
+		for _, d := range set {
+			strs[d.S] = struct{}{}
+		}
+		return func(row types.Row) bool {
+			d := row[idx]
+			if d.K == types.KindString {
+				_, ok := strs[d.S]
+				return ok
+			}
+			return inSlow(d, set)
+		}
+	}
+	e := in.E
+	return func(row types.Row) bool {
+		return inSlow(e.Eval(row), set)
+	}
+}
+
+// inSlow is the interpreted membership scan, shared by the fallback paths so
+// mixed-kind rows keep Eval's exact cross-kind Equal semantics.
+func inSlow(v types.Datum, set []types.Datum) bool {
+	if v.IsNull() {
+		return false
+	}
+	for _, d := range set {
+		if v.Equal(d) {
+			return true
+		}
+	}
+	return false
+}

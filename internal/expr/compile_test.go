@@ -1,0 +1,117 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// compileTestRows covers every kind in every column position the predicates
+// reference, including NULLs, integral floats and cross-kind comparisons.
+func compileTestRows() []types.Row {
+	r := rand.New(rand.NewSource(99))
+	rows := []types.Row{
+		{types.Null, types.Null, types.Null},
+		{types.NewInt(0), types.NewString(""), types.NewFloat(0)},
+		{types.NewInt(42), types.NewString("ASIA"), types.NewFloat(42)},
+		{types.NewFloat(41.5), types.NewString("EUROPE"), types.NewInt(-7)},
+		{types.NewBool(true), types.NewString("zzz"), types.NewBool(false)},
+		{types.DateFromYMD(1997, 5, 1), types.NewString("AMERICA"), types.DateFromYMD(1993, 1, 1)},
+		{types.NewString("17"), types.NewInt(17), types.NewFloat(2.5)},
+	}
+	for i := 0; i < 40; i++ {
+		rows = append(rows, types.Row{
+			types.NewInt(int64(r.Intn(100) - 50)),
+			types.NewString(fmt.Sprintf("s-%d", r.Intn(10))),
+			types.NewFloat(float64(r.Intn(2000))/10 - 100),
+		})
+	}
+	return rows
+}
+
+func compileTestExprs() []Expr {
+	var ps []Expr
+	for _, op := range []CmpOp{EQ, NE, LT, LE, GT, GE} {
+		ps = append(ps,
+			NewCmp(op, C(0, "a"), Int(42)),
+			NewCmp(op, C(0, "a"), Float(41.5)),
+			NewCmp(op, C(0, "a"), Float(42)), // integral float const
+			NewCmp(op, C(1, "b"), Str("EUROPE")),
+			NewCmp(op, Int(42), C(0, "a")), // mirrored const-col
+			NewCmp(op, C(0, "a"), C(2, "c")),
+			NewCmp(op, C(0, "a"), Const{D: types.Null}),
+			NewCmp(op, C(0, "a"), Date(1995, 6, 15)),
+			NewCmp(op, NewArith(Add, C(0, "a"), Int(1)), Int(10)), // generic fallback
+		)
+	}
+	ps = append(ps,
+		NewBetween(C(0, "a"), Int(-10), Int(40)),
+		NewBetween(C(0, "a"), Date(1993, 1, 1), Date(1998, 1, 1)),
+		NewBetween(C(0, "a"), Float(-10.5), Float(40.5)),
+		NewBetween(C(2, "c"), Int(0), Int(100)),
+		NewBetween(NewArith(Mul, C(2, "c"), Int(2)), Int(0), Int(50)),
+		NewBetween(C(0, "a"), Int(10), Const{D: types.Null}),
+		NewIn(C(1, "b"), types.NewString("ASIA"), types.NewString("EUROPE")),
+		NewIn(C(0, "a"), types.NewInt(42), types.NewInt(-7), types.NewInt(0)),
+		NewIn(C(0, "a"), types.NewInt(17), types.NewString("17")), // mixed set
+		NewIn(C(2, "c"), types.NewFloat(42), types.NewInt(2)),
+		NewIn(C(0, "a")), // empty set
+		Const{D: types.NewBool(true)},
+		Const{D: types.NewBool(false)},
+		Const{D: types.NewInt(1)}, // non-bool const is false
+		C(0, "a"),                 // non-bool column is false
+	)
+	// Boolean combinations of a few base predicates.
+	base := []Expr{
+		NewCmp(GE, C(0, "a"), Int(0)),
+		NewIn(C(1, "b"), types.NewString("s-1"), types.NewString("s-2")),
+		NewBetween(C(2, "c"), Float(-50), Float(50)),
+	}
+	ps = append(ps,
+		NewAnd(base...),
+		NewOr(base...),
+		Not{E: base[0]},
+		NewAnd(base[0], Not{E: base[1]}),
+		NewOr(Not{E: base[2]}, NewAnd(base[0], base[1])),
+	)
+	return ps
+}
+
+// TestCompileMatchesEval is the compiled-predicate equivalence oracle: for
+// every expression shape and every row, Compile(e)(row) must equal
+// e.Eval(row).Bool() exactly.
+func TestCompileMatchesEval(t *testing.T) {
+	rows := compileTestRows()
+	for _, e := range compileTestExprs() {
+		f := Compile(e)
+		for _, r := range rows {
+			got, want := f(r), e.Eval(r).Bool()
+			if got != want {
+				t.Errorf("%s on %s: compiled=%v interpreted=%v", e.Signature(), r, got, want)
+			}
+		}
+	}
+}
+
+// TestCompileZeroAllocSteadyState: the dominant SSB shapes must not allocate
+// per evaluation.
+func TestCompileZeroAllocSteadyState(t *testing.T) {
+	preds := []Expr{
+		NewCmp(LT, C(0, "a"), Int(10)),
+		NewBetween(C(0, "a"), Int(-10), Int(40)),
+		NewIn(C(1, "b"), types.NewString("s-1"), types.NewString("s-2")),
+		NewAnd(NewCmp(GE, C(0, "a"), Int(0)), NewCmp(LT, C(2, "c"), Float(50))),
+	}
+	row := types.Row{types.NewInt(5), types.NewString("s-1"), types.NewFloat(1)}
+	for _, p := range preds {
+		f := Compile(p)
+		sink := false
+		allocs := testing.AllocsPerRun(100, func() { sink = f(row) })
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs per eval, want 0", p.Signature(), allocs)
+		}
+		_ = sink
+	}
+}

@@ -115,14 +115,16 @@ func (h *HeapFile) NumRows() int {
 // Prefetch requests page idx in the background (scan readahead).
 func (h *HeapFile) Prefetch(idx int) { h.pool.Prefetch(h.id, idx) }
 
-// Page fetches page idx through the buffer pool and decodes its rows.
+// Page fetches page idx through the buffer pool and returns its decoded
+// rows. Rows are decoded once per pool residency and shared between callers;
+// they are immutable and safe to retain.
 func (h *HeapFile) Page(idx int) ([]types.Row, error) {
 	fr, err := h.pool.Fetch(h.id, idx)
 	if err != nil {
 		return nil, err
 	}
 	defer h.pool.Unpin(fr)
-	return DecodePage(fr.Data(), h.schema.Len())
+	return fr.DecodedRows(h.schema.Len())
 }
 
 // AllRows reads the whole file (testing and bulk-build convenience; query

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/types"
 )
 
 // ErrNoFreeFrames is returned when every frame in the pool is pinned and a
@@ -27,10 +29,38 @@ type Frame struct {
 	valid   bool
 	loading chan struct{} // non-nil while the page is being read from disk
 	loadErr error
+
+	// Decoded-row cache: rows are decoded at most once per page residency
+	// (circular scans re-read the same resident pages every sweep, so
+	// re-decoding dominated their allocation profile). Decoded rows do not
+	// alias the page bytes, so they remain valid — as immutable data — even
+	// after the frame is unpinned or recycled; eviction simply drops the
+	// cache reference.
+	decMu   sync.Mutex
+	rows    []types.Row
+	decoded bool
 }
 
 // Data returns the page bytes. Valid only while the frame is pinned.
 func (fr *Frame) Data() []byte { return fr.data }
+
+// DecodedRows returns the frame's page decoded into rows of ncols columns,
+// decoding on first use per residency. Must be called with the frame pinned.
+// The returned rows are shared and immutable; they may be retained after
+// Unpin.
+func (fr *Frame) DecodedRows(ncols int) ([]types.Row, error) {
+	fr.decMu.Lock()
+	defer fr.decMu.Unlock()
+	if !fr.decoded {
+		rows, err := DecodePage(fr.data, ncols)
+		if err != nil {
+			return nil, err
+		}
+		fr.rows = rows
+		fr.decoded = true
+	}
+	return fr.rows, nil
+}
 
 // PoolStats are cumulative buffer pool counters.
 type PoolStats struct {
@@ -120,6 +150,10 @@ func (p *BufferPool) Fetch(f FileID, idx int) (*Frame, error) {
 	fr.pins = 1
 	fr.ref = true
 	fr.loadErr = nil
+	// The frame was unpinned when victimLocked picked it, so no DecodedRows
+	// call can be in flight; dropping the cache here is race-free.
+	fr.rows = nil
+	fr.decoded = false
 	ch := make(chan struct{})
 	fr.loading = ch
 	p.table[key] = fr

@@ -208,6 +208,43 @@ func (d Datum) Hash(h uint64) uint64 {
 	}
 }
 
+// hashKeySeed seeds the FNV fallback of HashKey (the FNV-1a offset basis,
+// matching the seed the CJOIN dimension tables historically used).
+const hashKeySeed uint64 = 14695981039346656037
+
+// mix64 is the splitmix64 finalizer: a multiply-shift mixer that diffuses a
+// 64-bit integer into a well-distributed hash in a handful of instructions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashKey returns a well-mixed 64-bit hash of the datum for hash-table
+// keying. Integer-class datums (int, date, bool) take a multiply-shift fast
+// path over the int64 payload — the dominant case for star-schema join keys —
+// as do floats holding integral values, so that datums comparing equal hash
+// equally for magnitudes below 2^62 (the same bound Hash uses; beyond it,
+// Compare's float promotion makes cross-kind equality lossy and neither hash
+// tracks it). Strings and non-integral floats fall back to the FNV path of
+// Hash.
+func (d Datum) HashKey() uint64 {
+	switch d.K {
+	case KindInt, KindDate, KindBool:
+		return mix64(uint64(d.I))
+	case KindFloat:
+		if f := d.F; f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1<<62 {
+			return mix64(uint64(int64(f)))
+		}
+		return d.Hash(hashKeySeed)
+	default:
+		return d.Hash(hashKeySeed)
+	}
+}
+
 // String renders the datum for display and for canonical plan signatures.
 func (d Datum) String() string {
 	switch d.K {

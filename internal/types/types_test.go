@@ -228,3 +228,56 @@ func TestSchemaProject(t *testing.T) {
 		t.Errorf("Project = %v", p)
 	}
 }
+
+// TestHashKeyEqualDatumsHashEqually checks the HashKey invariant that makes
+// it usable as a hash-table key: datums comparing Equal must produce the
+// same key hash, across the multiply-shift fast path (int, date, bool,
+// integral floats) and the FNV fallback (strings, fractional floats). Like
+// Hash, the cross-kind guarantee holds for magnitudes below 2^62.
+func TestHashKeyEqualDatumsHashEqually(t *testing.T) {
+	groups := [][]Datum{
+		{NewInt(42), NewFloat(42)},
+		{NewInt(0), NewFloat(0), NewBool(false)},
+		{NewInt(1), NewBool(true)},
+		{NewInt(9955), NewDate(9955), NewFloat(9955)},
+		{NewInt(-3), NewFloat(-3)},
+		{NewString("ASIA"), NewString("ASIA")},
+		{NewFloat(2.5), NewFloat(2.5)},
+		{Null, Null},
+	}
+	for _, g := range groups {
+		for i := 1; i < len(g); i++ {
+			if !g[0].Equal(g[i]) {
+				t.Fatalf("test setup: %v != %v", g[0], g[i])
+			}
+			if g[0].HashKey() != g[i].HashKey() {
+				t.Errorf("HashKey(%v) = %#x != HashKey(%v) = %#x",
+					g[0], g[0].HashKey(), g[i], g[i].HashKey())
+			}
+		}
+	}
+}
+
+// TestHashKeyDisperses is a sanity check that the multiply-shift mixer does
+// not collapse dense key ranges (the failure mode of identity hashing with
+// power-of-two tables).
+func TestHashKeyDisperses(t *testing.T) {
+	const n = 4096
+	seen := make(map[uint64]bool, n)
+	lowBits := make(map[uint64]int)
+	for i := 0; i < n; i++ {
+		h := NewInt(int64(i)).HashKey()
+		if seen[h] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[h] = true
+		lowBits[h&63]++
+	}
+	// With 4096 keys over 64 buckets the expected load is 64; catastrophic
+	// clustering would put hundreds in one bucket.
+	for b, c := range lowBits {
+		if c > 200 {
+			t.Errorf("bucket %d holds %d of %d keys; mixer is not dispersing", b, c, n)
+		}
+	}
+}
