@@ -71,6 +71,9 @@ type (
 
 	// CJoinOperator is a running CJOIN pipeline (Global Query Plan).
 	CJoinOperator = cjoin.Operator
+	// CJoinConfig tunes the GQP (batch sizes, queue depths, and Workers —
+	// the number of parallel probe pipelines, defaulting to GOMAXPROCS).
+	CJoinConfig = cjoin.Config
 	// CJoinDimSpec fixes one dimension of the GQP chain.
 	CJoinDimSpec = cjoin.DimSpec
 	// CJoinStats snapshots the GQP's counters.
@@ -187,16 +190,20 @@ type Config struct {
 	Profile *DiskProfile
 	// BufferPoolPages sizes the buffer pool (0 = 2048 pages = 64 MiB).
 	BufferPoolPages int
+	// CJoin tunes the CJOIN Global Query Plan started by LoadSSB; the zero
+	// value selects every default (notably Workers = GOMAXPROCS parallel
+	// probe pipelines). Invalid values surface as a LoadSSB error.
+	CJoin CJoinConfig
 }
 
 // System is an assembled database instance: a simulated disk, a buffer pool,
 // generated data, and (once an SSB database is loaded) a running CJOIN
 // pipeline usable as the engines' Global Query Plan.
 type System struct {
-	cat  *storage.Catalog
-	disk *storage.MemDisk
-	gqp  *cjoin.Operator
-
+	cat      *storage.Catalog
+	disk     *storage.MemDisk
+	gqp      *cjoin.Operator
+	gqpCfg   cjoin.Config
 	ssbDB    *ssb.DB
 	lineitem *storage.Table
 }
@@ -215,7 +222,7 @@ func NewSystem(cfg Config) *System {
 		pool = 2048
 	}
 	disk := storage.NewMemDisk(profile)
-	return &System{cat: storage.NewCatalog(disk, pool, true), disk: disk}
+	return &System{cat: storage.NewCatalog(disk, pool, true), disk: disk, gqpCfg: cfg.CJoin}
 }
 
 // Catalog exposes the underlying catalog (table creation, buffer pool
@@ -237,7 +244,7 @@ func (s *System) LoadSSB(sf float64, seed int64) (*SSBDatabase, error) {
 		{Table: db.Customer, FactKeyCol: ssb.LOCustKey, DimKeyCol: ssb.CCustKey},
 		{Table: db.Supplier, FactKeyCol: ssb.LOSuppKey, DimKeyCol: ssb.SSuppKey},
 		{Table: db.Part, FactKeyCol: ssb.LOPartKey, DimKeyCol: ssb.PPartKey},
-	}, cjoin.Config{})
+	}, s.gqpCfg)
 	if err != nil {
 		return nil, err
 	}

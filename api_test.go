@@ -51,6 +51,31 @@ func TestSystemSSBRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSystemCJoinWorkersConfig checks the facade plumbs the GQP tuning
+// through LoadSSB: a valid Workers count sticks, an invalid config errors.
+func TestSystemCJoinWorkersConfig(t *testing.T) {
+	sys := NewSystem(Config{CJoin: CJoinConfig{Workers: 3}})
+	defer sys.Close()
+	db, err := sys.LoadSSB(0.0005, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.GQP().Workers(); got != 3 {
+		t.Errorf("GQP workers = %d, want 3", got)
+	}
+	e := sys.NewEngine(EngineConfig{})
+	in := InstantiateSSB(db, Q2_1, rand.New(rand.NewSource(9)))
+	if _, err := e.Execute(context.Background(), in.Plan(true)); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := NewSystem(Config{CJoin: CJoinConfig{Workers: -2}})
+	defer bad.Close()
+	if _, err := bad.LoadSSB(0.0005, 1); err == nil {
+		t.Error("LoadSSB accepted an invalid CJoin config")
+	}
+}
+
 func TestSystemTPCHQ1(t *testing.T) {
 	sys := NewSystem(Config{})
 	defer sys.Close()

@@ -33,12 +33,14 @@ var (
 	tpchOnce sync.Once
 	tpchEnvV *workload.Env
 
-	ssbMemOnce sync.Once
-	ssbMemEnvV *workload.Env
-
-	ssbDiskOnce sync.Once
-	ssbDiskEnvV *workload.Env
+	ssbEnvMu sync.Mutex
+	ssbEnvs  = map[workload.Residency]*ssbEnvSlot{} // one live env per residency
 )
+
+type ssbEnvSlot struct {
+	workers int
+	env     *workload.Env
+}
 
 func tpchEnv(b *testing.B) *workload.Env {
 	tpchOnce.Do(func() {
@@ -51,27 +53,40 @@ func tpchEnv(b *testing.B) *workload.Env {
 	return tpchEnvV
 }
 
-func ssbMemEnv(b *testing.B) *workload.Env {
-	ssbMemOnce.Do(func() {
-		env, err := workload.NewSSBEnv(0.01, workload.MemoryResident, 0, 1)
-		if err != nil {
-			panic(err)
+// ssbEnvW returns (building on first use) the shared SSB environment for one
+// point on the benchmarks' workers=N axis; workers=0 selects the GOMAXPROCS
+// default. At most one environment per residency stays alive: moving to a
+// different workers value closes and replaces the previous one, so earlier
+// axis points cannot skew later measurements with dead heap (regeneration at
+// sf=0.01 costs about a second).
+func ssbEnvW(b *testing.B, res workload.Residency, workers int) *workload.Env {
+	b.Helper()
+	ssbEnvMu.Lock()
+	defer ssbEnvMu.Unlock()
+	if slot, ok := ssbEnvs[res]; ok {
+		if slot.workers == workers {
+			return slot.env
 		}
-		ssbMemEnvV = env
+		slot.env.Close()
+		delete(ssbEnvs, res)
+	}
+	env, err := workload.NewSSBEnvCfg(workload.EnvConfig{
+		SF: 0.01, Residency: res, Seed: 1, Workers: workers,
 	})
-	return ssbMemEnvV
+	if err != nil {
+		b.Fatal(err)
+	}
+	ssbEnvs[res] = &ssbEnvSlot{workers: workers, env: env}
+	return env
 }
 
-func ssbDiskEnv(b *testing.B) *workload.Env {
-	ssbDiskOnce.Do(func() {
-		env, err := workload.NewSSBEnv(0.01, workload.DiskResident, 0, 1)
-		if err != nil {
-			panic(err)
-		}
-		ssbDiskEnvV = env
-	})
-	return ssbDiskEnvV
-}
+func ssbMemEnv(b *testing.B) *workload.Env  { return ssbEnvW(b, workload.MemoryResident, 0) }
+func ssbDiskEnv(b *testing.B) *workload.Env { return ssbEnvW(b, workload.DiskResident, 0) }
+
+// scenario3WorkersAxis is the workers=N axis swept by BenchmarkScenarioIII's
+// GQP line — the acceptance curve for probe-worker scaling. Scenario II and
+// IV sample only the {1, 4} endpoints to bound their disk-resident runtime.
+var scenario3WorkersAxis = []int{1, 2, 4, 8}
 
 // ---------------------------------------------------------------------------
 // Scenario I (Figure 4): response time of k identical TPC-H Q1 instances.
@@ -111,33 +126,40 @@ func BenchmarkScenarioI(b *testing.B) {
 // disk-resident, randomized Q2.1 parameters).
 
 func BenchmarkScenarioII(b *testing.B) {
-	env := ssbDiskEnv(b)
 	ctx := context.Background()
-	pool := ssb.Pool(env.SSB, ssb.Q2_1, 32, 5)
 	lines := []struct {
-		name   string
-		useGQP bool
-		cfg    EngineConfig
+		name    string
+		useGQP  bool
+		workers []int // 0 = default env; the qpipe line never probes the GQP
+		cfg     EngineConfig
 	}{
-		{"qpipeSP", false, EngineConfig{SP: true, Model: SPPull}},
-		{"gqp", true, EngineConfig{SP: true, Model: SPPull}},
+		{"qpipeSP", false, []int{0}, EngineConfig{SP: true, Model: SPPull}},
+		{"gqp", true, []int{1, 4}, EngineConfig{SP: true, Model: SPPull}},
 	}
 	for _, line := range lines {
-		for _, clients := range []int{1, 8, 32} {
-			b.Run(fmt.Sprintf("line=%s/clients=%d", line.name, clients), func(b *testing.B) {
-				e := env.Engine(line.cfg)
-				r := rand.New(rand.NewSource(3))
-				for i := 0; i < b.N; i++ {
-					roots := make([]Node, clients)
-					for j := range roots {
-						roots[j] = pool[r.Intn(len(pool))].Plan(line.useGQP)
-					}
-					if _, err := e.ExecuteBatch(ctx, roots); err != nil {
-						b.Fatal(err)
-					}
+		for _, workers := range line.workers {
+			env := ssbEnvW(b, workload.DiskResident, workers)
+			pool := ssb.Pool(env.SSB, ssb.Q2_1, 32, 5)
+			for _, clients := range []int{1, 8, 32} {
+				name := fmt.Sprintf("line=%s/clients=%d", line.name, clients)
+				if line.useGQP {
+					name = fmt.Sprintf("line=%s/workers=%d/clients=%d", line.name, workers, clients)
 				}
-				b.ReportMetric(float64(clients)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
-			})
+				b.Run(name, func(b *testing.B) {
+					e := env.Engine(line.cfg)
+					r := rand.New(rand.NewSource(3))
+					for i := 0; i < b.N; i++ {
+						roots := make([]Node, clients)
+						for j := range roots {
+							roots[j] = pool[r.Intn(len(pool))].Plan(line.useGQP)
+						}
+						if _, err := e.ExecuteBatch(ctx, roots); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(clients)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+				})
+			}
 		}
 	}
 }
@@ -147,30 +169,37 @@ func BenchmarkScenarioII(b *testing.B) {
 // randomized predicate windows so SP rarely fires).
 
 func BenchmarkScenarioIII(b *testing.B) {
-	env := ssbMemEnv(b)
 	ctx := context.Background()
 	const clients = 2
-	for _, line := range []string{"qpipeSP", "gqp"} {
+	run := func(b *testing.B, env *workload.Env, useGQP bool, sel float64) {
+		e := env.Engine(EngineConfig{SP: true, Model: SPPull})
+		width := int64(sel * 50)
+		if width < 1 {
+			width = 1
+		}
+		r := rand.New(rand.NewSource(3))
+		for i := 0; i < b.N; i++ {
+			roots := make([]Node, clients)
+			for j := range roots {
+				start := r.Int63n(50 - width + 1)
+				roots[j] = ssb.ParametricWindow(env.SSB, width, start).Plan(useGQP)
+			}
+			if _, err := e.ExecuteBatch(ctx, roots); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(clients)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+	for _, sel := range []float64{0.1, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("line=qpipeSP/sel=%.0f%%", sel*100), func(b *testing.B) {
+			run(b, ssbMemEnv(b), false, sel)
+		})
+	}
+	for _, workers := range scenario3WorkersAxis {
+		env := ssbEnvW(b, workload.MemoryResident, workers)
 		for _, sel := range []float64{0.1, 0.5, 1.0} {
-			b.Run(fmt.Sprintf("line=%s/sel=%.0f%%", line, sel*100), func(b *testing.B) {
-				useGQP := line == "gqp"
-				e := env.Engine(EngineConfig{SP: true, Model: SPPull})
-				width := int64(sel * 50)
-				if width < 1 {
-					width = 1
-				}
-				r := rand.New(rand.NewSource(3))
-				for i := 0; i < b.N; i++ {
-					roots := make([]Node, clients)
-					for j := range roots {
-						start := r.Int63n(50 - width + 1)
-						roots[j] = ssb.ParametricWindow(env.SSB, width, start).Plan(useGQP)
-					}
-					if _, err := e.ExecuteBatch(ctx, roots); err != nil {
-						b.Fatal(err)
-					}
-				}
-				b.ReportMetric(float64(clients)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			b.Run(fmt.Sprintf("line=gqp/workers=%d/sel=%.0f%%", workers, sel*100), func(b *testing.B) {
+				run(b, env, true, sel)
 			})
 		}
 	}
@@ -181,7 +210,6 @@ func BenchmarkScenarioIII(b *testing.B) {
 // admits one query per distinct star sub-plan).
 
 func BenchmarkScenarioIV(b *testing.B) {
-	env := ssbDiskEnv(b)
 	ctx := context.Background()
 	const clients = 16
 	spOnCJoin := map[PlanKind]bool{KindCJoin: true}
@@ -193,22 +221,25 @@ func BenchmarkScenarioIV(b *testing.B) {
 		{"gqpSP", EngineConfig{SP: true, Model: SPPull, SPStages: spOnCJoin}},
 	}
 	for _, line := range lines {
-		for _, plans := range []int{1, 16} {
-			b.Run(fmt.Sprintf("line=%s/plans=%d", line.name, plans), func(b *testing.B) {
-				pool := ssb.Pool(env.SSB, ssb.Q2_1, plans, 11)
-				e := env.Engine(line.cfg)
-				r := rand.New(rand.NewSource(3))
-				for i := 0; i < b.N; i++ {
-					roots := make([]Node, clients)
-					for j := range roots {
-						roots[j] = pool[r.Intn(len(pool))].Plan(true)
+		for _, workers := range []int{1, 4} {
+			env := ssbEnvW(b, workload.DiskResident, workers)
+			for _, plans := range []int{1, 16} {
+				b.Run(fmt.Sprintf("line=%s/workers=%d/plans=%d", line.name, workers, plans), func(b *testing.B) {
+					pool := ssb.Pool(env.SSB, ssb.Q2_1, plans, 11)
+					e := env.Engine(line.cfg)
+					r := rand.New(rand.NewSource(3))
+					for i := 0; i < b.N; i++ {
+						roots := make([]Node, clients)
+						for j := range roots {
+							roots[j] = pool[r.Intn(len(pool))].Plan(true)
+						}
+						if _, err := e.ExecuteBatch(ctx, roots); err != nil {
+							b.Fatal(err)
+						}
 					}
-					if _, err := e.ExecuteBatch(ctx, roots); err != nil {
-						b.Fatal(err)
-					}
-				}
-				b.ReportMetric(float64(clients)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
-			})
+					b.ReportMetric(float64(clients)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+				})
+			}
 		}
 	}
 }

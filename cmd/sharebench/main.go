@@ -41,6 +41,7 @@ var (
 	residency   = flag.String("residency", "", "override residency: memory or disk")
 	batching    = flag.Bool("batching", false, "batched submission for scenario 2")
 	poolPages   = flag.Int("pool-pages", 0, "buffer pool pages (0 = scenario default)")
+	workers     = flag.Int("workers", 0, "CJOIN probe workers, scenarios 2-4 (0 = GOMAXPROCS)")
 )
 
 func parseIntList(s string) ([]int, error) {
@@ -233,6 +234,7 @@ func runScenarioII(ctx context.Context) {
 		BufferPoolPages: *poolPages,
 		Batching:        *batching,
 		Seed:            *seed,
+		Workers:         *workers,
 	}
 	res, err := repro.RunScenarioII(ctx, cfg)
 	if err != nil {
@@ -271,6 +273,7 @@ func runScenarioIII(ctx context.Context) {
 		Duration:      *duration,
 		Residency:     mustResidency(*residency),
 		Seed:          *seed,
+		Workers:       *workers,
 	}
 	res, err := repro.RunScenarioIII(ctx, cfg)
 	if err != nil {
@@ -312,6 +315,7 @@ func runScenarioIV(ctx context.Context) {
 		Residency:       mustResidency(*residency),
 		BufferPoolPages: *poolPages,
 		Seed:            *seed,
+		Workers:         *workers,
 	}
 	res, err := repro.RunScenarioIV(ctx, cfg)
 	if err != nil {

@@ -1,36 +1,43 @@
 // Package cjoin implements the CJOIN operator: a Global Query Plan (GQP)
 // that evaluates the joins of all concurrent star queries in a single shared
-// pipeline (proactive sharing, §3 of the paper).
+// plan (proactive sharing, §3 of the paper).
 //
-// The pipeline is a chain:
+// The plan is data-parallel: one scanner drives the circular scan of the
+// fact table and deals fact pages round-robin to Config.Workers probe
+// workers; each worker annotates its pages with query bitmaps (bit q is set
+// iff the tuple satisfies query q's fact-table predicate) and probes them
+// through the whole dimension chain; a distributor merges the worker streams
+// back into scan order and routes each surviving joined tuple to every query
+// whose bit survived.
 //
-//	preprocessor → shared hash-join(dim₁) → … → shared hash-join(dimₖ) → distributor
+//	            ┌→ worker 0 (annotate → probe dim₁..dimₖ) ─┐
+//	scanner ────┼→ worker 1 (annotate → probe dim₁..dimₖ) ─┼→ distributor
+//	            └→ …                                       ─┘   (seq merge)
 //
-// The preprocessor drives a circular scan of the fact table and annotates
-// every fact tuple with a bitmap: bit q is set iff the tuple satisfies query
-// q's fact-table predicate. Each shared hash-join probes its dimension hash
-// table — whose entries carry bitmaps recording which queries' dimension
-// predicates the entry satisfies — and ANDs the tuple bitmap with the entry
-// bitmap, masked so queries that do not reference the dimension pass
-// through. Tuples whose bitmap reaches zero are dropped. The distributor
-// routes each surviving joined tuple to every query whose bit survived.
+// The dimension hash tables are split in two: the probe index (keys, rows,
+// open-addressing slots) is built once and shared immutably by every worker,
+// while the per-entry query bitmaps — the only state that changes as queries
+// come and go — are replicated per worker so the probe hot path never takes
+// a lock.
 //
-// Queries are admitted and retired via control messages that flow through
-// the pipeline in stream order, so each stage updates its own state (entry
-// bitmaps, stage mask) without locks: a query's admission marker precedes
-// its first fact tuple at every stage, and its finish marker follows its
-// last, which makes admission and retirement race-free by construction.
-// A query completes when the circular scan wraps around to its admission
-// position — exactly one full sweep per query.
+// Queries are admitted and retired through an epoch protocol: every logical
+// tick of the scanner is either one fact page (sent to exactly one worker)
+// or a control tick (broadcast to every worker and sent once to the
+// distributor). Ticks carry a global sequence number; each worker receives
+// its ticks in sequence order, so it switches its replicated query bitmaps
+// at the same logical point of the fact stream as every other worker, and
+// the distributor processes ticks in strict sequence order (buffering
+// out-of-order arrivals in a ring), which preserves the paper's semantics: a
+// query sees each fact tuple exactly once — its admission tick precedes the
+// first page of its sweep, its finish tick follows the last — and each
+// query's batches are delivered in scan order.
 //
-// The data path is allocation-free in steady state: each pipeline item owns
-// flat arenas (one []uint64 bitmap arena where tuple i holds words
+// The data path is allocation-free in steady state per worker: each pipeline
+// item owns flat arenas (one []uint64 bitmap arena where tuple i holds words
 // [i*stride,(i+1)*stride), one joined-dimension-row arena, one fact-row
-// array) recycled through a sync.Pool; the dimension hash tables are
-// open-addressing over flat entry stores keyed by multiply-shift hashes of
-// the join key; per-query predicates are compiled to closures once at
-// admission; and the distributor carves output rows out of a per-batch datum
-// arena instead of allocating one row per routed tuple.
+// array) recycled through a sync.Pool; per-query predicates are compiled to
+// closures once at subscription; and the distributor carves output rows out
+// of a per-batch datum arena instead of allocating one row per routed tuple.
 package cjoin
 
 import (
@@ -38,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	mathbits "math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,27 +69,54 @@ type DimSpec struct {
 	DimKeyCol  int
 }
 
-// Config tunes the operator.
+// Config tunes the operator. The zero value selects every default; negative
+// values (and a Workers count beyond MaxWorkers) are rejected by NewOperator.
 type Config struct {
 	// BatchSize is the number of joined rows per batch delivered to a query.
+	// Default: batch.DefaultCapacity.
 	BatchSize int
-	// QueueLen is the channel depth between pipeline stages (in fact pages).
+	// QueueLen is the per-worker input queue depth, in fact pages. Default: 4.
 	QueueLen int
-	// OutBuffer is the per-query output channel depth (in batches).
+	// OutBuffer is the per-query output channel depth, in batches. Default: 4.
 	OutBuffer int
+	// Workers is the number of parallel probe pipelines the fact stream is
+	// partitioned across. Default: runtime.GOMAXPROCS(0).
+	Workers int
 }
 
-func (c Config) withDefaults() Config {
-	if c.BatchSize <= 0 {
+// MaxWorkers bounds Config.Workers; a larger value is almost certainly a
+// bug (e.g. a row count passed in the wrong field) and would only burn
+// memory on idle replicas.
+const MaxWorkers = 1024
+
+// normalize is the single place configuration defaults live: it validates
+// cfg and resolves every zero field to its documented default.
+func (c Config) normalize() (Config, error) {
+	switch {
+	case c.BatchSize < 0:
+		return c, fmt.Errorf("cjoin: BatchSize %d is negative", c.BatchSize)
+	case c.QueueLen < 0:
+		return c, fmt.Errorf("cjoin: QueueLen %d is negative", c.QueueLen)
+	case c.OutBuffer < 0:
+		return c, fmt.Errorf("cjoin: OutBuffer %d is negative", c.OutBuffer)
+	case c.Workers < 0:
+		return c, fmt.Errorf("cjoin: Workers %d is negative", c.Workers)
+	case c.Workers > MaxWorkers:
+		return c, fmt.Errorf("cjoin: Workers %d exceeds MaxWorkers (%d)", c.Workers, MaxWorkers)
+	}
+	if c.BatchSize == 0 {
 		c.BatchSize = batch.DefaultCapacity
 	}
-	if c.QueueLen <= 0 {
+	if c.QueueLen == 0 {
 		c.QueueLen = 4
 	}
-	if c.OutBuffer <= 0 {
+	if c.OutBuffer == 0 {
 		c.OutBuffer = 4
 	}
-	return c
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c, nil
 }
 
 // Stats are cumulative operator counters.
@@ -97,7 +132,7 @@ type Stats struct {
 	DroppedInChain int64 // tuples dropped inside the join chain
 	TuplesRouted   int64 // (tuple, query) deliveries by the distributor
 	// Busy is the accumulated processing time across all pipeline
-	// goroutines (preprocessor, join stages, distributor) — the GQP's share
+	// goroutines (scanner, probe workers, distributor) — the GQP's share
 	// of the CPU-utilisation proxy.
 	Busy time.Duration
 }
@@ -116,22 +151,43 @@ type ctlMsg struct {
 	sub  *subscription
 }
 
-// item is the unit flowing between pipeline stages: control messages that
-// take effect before the page's tuples, the tuples, and control messages
-// that take effect after them (finish markers of queries whose sweep ended
-// with this page).
+// epoch is the broadcast form of a control tick: the admissions and
+// retirements every probe worker applies to its replicated query bitmaps
+// before processing any later page. Epochs are immutable once published
+// (workers on different ticks read them concurrently).
+type epoch struct {
+	pre  []ctlMsg // admissions, applied before any later page
+	post []ctlMsg // retirements, applied after every earlier page
+}
+
+// wmsg is one tick on a worker's input queue: a control epoch or a fact
+// page. Per-queue FIFO order is sequence order, so a worker always applies
+// an epoch at the same stream position as its peers.
+type wmsg struct {
+	ep *epoch
+	it *item
+}
+
+// item is the unit flowing into the distributor: one tick of the fact
+// stream. Data ticks carry a page's surviving tuples; control ticks carry
+// the distributor's copy of an epoch's admissions/retirements. seq is the
+// tick's global sequence number — the distributor processes items in strict
+// seq order.
 //
 // Tuples live in flat arenas so a page costs zero steady-state allocations:
 // tuple i's fact row is facts[i], its query bitmap is the word slice
 // words[i*stride:(i+1)*stride], and its joined row for dimension j is
-// dims[i*ndims+j]. Join stages compact the arenas in place as tuples die.
-// A dims slot is only ever read for a (tuple, query) pair whose bit survived
-// that dimension's stage, which implies the stage's probe hit and wrote the
+// dims[i*ndims+j]. The probe loop compacts the arenas in place as tuples
+// die. A dims slot is only ever read for a (tuple, query) pair whose bit
+// survived that dimension's probe, which implies the probe hit and wrote the
 // slot on the current page — so stale slots from a recycled item are never
 // observed and need not be cleared.
 type item struct {
+	seq  int64
 	pre  []ctlMsg
 	post []ctlMsg
+
+	rows []types.Row // scanner → worker: the decoded fact page (data ticks)
 
 	n      int         // live tuples
 	stride int         // bitmap words per tuple
@@ -180,6 +236,8 @@ func (op *Operator) putItem(it *item) {
 		it.post[i] = ctlMsg{}
 	}
 	it.pre, it.post = it.pre[:0], it.post[:0]
+	it.rows = nil
+	it.seq = 0
 	clear(it.facts[:cap(it.facts)])
 	clear(it.dims[:cap(it.dims)])
 	it.n = 0
@@ -198,6 +256,13 @@ type subscription struct {
 	q        *plan.StarQuery
 	factPred func(types.Row) bool // nil means all fact rows qualify
 	dimIdx   []int                // operator dim index per q.Dims entry
+
+	// Per-operator-dimension admission plan, compiled once at subscription
+	// time and then applied by every worker replica: dimRef[d] reports
+	// whether the query references dimension d; dimPred[d] is its compiled
+	// dimension predicate (nil = every dimension row qualifies).
+	dimRef  []bool
+	dimPred []func(types.Row) bool
 
 	// Precomputed distributor route: output width and flat column map,
 	// derived once at subscription time instead of per routed tuple.
@@ -224,11 +289,21 @@ type Operator struct {
 	byName map[string]int
 	cfg    Config
 
+	tables  []*dimTable // shared immutable probe indexes
+	workers []*worker
+
 	admitCh   chan *subscription
 	freeCh    chan int
 	closeCh   chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+	prodWG    sync.WaitGroup // scanner + workers; gates the fan-in close
+
+	// stragglers are the subscriptions still active when the scanner shut
+	// down; published before the fan-in closes so the distributor's
+	// shutdown path can fail every admitted query exactly once.
+	stragglerMu sync.Mutex
+	stragglers  []*subscription
 
 	itemPool sync.Pool
 
@@ -241,14 +316,19 @@ type Operator struct {
 	}
 }
 
-// NewOperator builds the dimension hash tables (one scan of each dimension
-// table) and starts the pipeline goroutines.
+// NewOperator validates cfg, builds the shared dimension probe indexes (one
+// scan of each dimension table) and starts the scanner, the probe workers
+// and the distributor.
 func NewOperator(fact *storage.Table, dims []DimSpec, cfg Config) (*Operator, error) {
+	ncfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
 	op := &Operator{
 		fact:    fact,
 		specs:   dims,
 		byName:  make(map[string]int, len(dims)),
-		cfg:     cfg.withDefaults(),
+		cfg:     ncfg,
 		admitCh: make(chan *subscription),
 		freeCh:  make(chan int, 1024),
 		closeCh: make(chan struct{}),
@@ -260,30 +340,43 @@ func NewOperator(fact *storage.Table, dims []DimSpec, cfg Config) (*Operator, er
 		op.byName[d.Table.Name] = i
 	}
 
-	stages := make([]*joinStage, len(dims))
+	op.tables = make([]*dimTable, len(dims))
 	for i, d := range dims {
-		st, err := newJoinStage(i, d, op)
+		t, err := newDimTable(i, d)
 		if err != nil {
 			return nil, err
 		}
-		stages[i] = st
+		op.tables[i] = t
 	}
 
-	// Wire the chain: preprocessor → stages → distributor.
-	head := make(chan *item, op.cfg.QueueLen)
-	ch := head
-	for _, st := range stages {
-		next := make(chan *item, op.cfg.QueueLen)
-		st.in, st.out = ch, next
-		ch = next
+	nw := op.cfg.Workers
+	fanIn := make(chan *item, nw*op.cfg.QueueLen+nw)
+	op.workers = make([]*worker, nw)
+	for i := range op.workers {
+		w := &worker{
+			op:   op,
+			in:   make(chan wmsg, op.cfg.QueueLen),
+			out:  fanIn,
+			dims: make([]dimState, len(dims)),
+		}
+		for j, t := range op.tables {
+			w.dims[j] = newDimState(t, op)
+		}
+		op.workers[i] = w
 	}
-	dist := &distributor{op: op, in: ch}
+	dist := &distributor{op: op, in: fanIn}
 
-	op.wg.Add(2 + len(stages))
-	go op.preprocess(head)
-	for _, st := range stages {
-		go st.run()
+	op.wg.Add(nw + 3) // scanner, workers, fan-in closer, distributor
+	op.prodWG.Add(nw + 1)
+	go op.scan(fanIn)
+	for _, w := range op.workers {
+		go w.run()
 	}
+	go func() {
+		defer op.wg.Done()
+		op.prodWG.Wait()
+		close(fanIn)
+	}()
 	go dist.run()
 	return op, nil
 }
@@ -310,6 +403,10 @@ func (op *Operator) Stats() Stats {
 		Busy:           time.Duration(op.stats.busyNanos.Load()),
 	}
 }
+
+// Workers returns the number of parallel probe pipelines (the resolved
+// Config.Workers).
+func (op *Operator) Workers() int { return op.cfg.Workers }
 
 // addBusy accounts pipeline processing time.
 func (op *Operator) addBusy(d time.Duration) { op.stats.busyNanos.Add(int64(d)) }
@@ -354,8 +451,9 @@ func (op *Operator) Run(ctx context.Context, q *plan.StarQuery, emit func(*batch
 }
 
 // newSubscription validates the query against the operator's chain and
-// precomputes everything the pipeline needs per tuple: the compiled fact
-// predicate and the distributor's output row layout.
+// precomputes everything the pipeline needs per tuple: the compiled fact and
+// dimension predicates (shared read-only by every worker replica) and the
+// distributor's output row layout.
 func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 	if q.Fact != op.fact {
 		return nil, fmt.Errorf("cjoin: query fact table %q does not match GQP fact table %q",
@@ -366,6 +464,8 @@ func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 		out:      make(chan *batch.Batch, op.cfg.OutBuffer),
 		cancelCh: make(chan struct{}),
 		dimIdx:   make([]int, len(q.Dims)),
+		dimRef:   make([]bool, len(op.specs)),
+		dimPred:  make([]func(types.Row) bool, len(op.specs)),
 	}
 	for i, d := range q.Dims {
 		idx, ok := op.byName[d.Table.Name]
@@ -378,6 +478,10 @@ func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 				d.Table.Name, d.FactKeyCol, d.DimKeyCol, spec.FactKeyCol, spec.DimKeyCol)
 		}
 		sub.dimIdx[i] = idx
+		sub.dimRef[idx] = true
+		if d.Pred != nil {
+			sub.dimPred[idx] = expr.Compile(d.Pred)
+		}
 	}
 	if q.FactPred != nil {
 		sub.factPred = expr.Compile(q.FactPred)
@@ -398,18 +502,38 @@ func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 	return sub, nil
 }
 
-// preprocess is the pipeline head: it owns the circular fact scan, the
-// active query list, and bitmap slot assignment.
-func (op *Operator) preprocess(out chan<- *item) {
+// scan is the pipeline head: it owns the circular fact scan, the active
+// query list, bitmap slot assignment and the tick sequence. Fact pages are
+// dealt round-robin to the probe workers; admissions and retirements are
+// published as control ticks broadcast to every worker (so all replicas
+// switch bitmaps at the same stream position) and sent once to the
+// distributor (which orders them against the data ticks by sequence
+// number).
+func (op *Operator) scan(fanIn chan<- *item) {
+	var active []*subscription
 	defer op.wg.Done()
-	defer close(out)
+	defer op.prodWG.Done()
+	defer func() {
+		for _, w := range op.workers {
+			close(w.in)
+		}
+	}()
+	// Publish still-active queries for the distributor's shutdown path.
+	// Runs before the worker queues close (and therefore before the fan-in
+	// closes), so the list is complete by the time the distributor fails
+	// the remaining queries.
+	defer func() {
+		op.stragglerMu.Lock()
+		op.stragglers = append(op.stragglers, active...)
+		op.stragglerMu.Unlock()
+	}()
 
 	npages := op.fact.File.NumPages()
 	pos := 0
-	var active []*subscription
 	nextSlot := 0
 	var freeSlots []int
-	ndims := len(op.specs)
+	var seq int64
+	wi := 0 // next worker to deal a page to
 
 	takeSlot := func() int {
 		// Prefer recycled slots to keep bitmaps small.
@@ -440,9 +564,25 @@ func (op *Operator) preprocess(out chan<- *item) {
 		return ctlMsg{kind: ctlAdmit, sub: sub}
 	}
 
-	send := func(it *item) bool {
+	// broadcast publishes one control tick: the epoch to every worker, and
+	// an item (with its own copy of the control slices, since the epoch
+	// outlives the item on slow workers) to the distributor.
+	broadcast := func(pre, post []ctlMsg) bool {
+		ep := &epoch{pre: pre, post: post}
+		for _, w := range op.workers {
+			select {
+			case w.in <- wmsg{ep: ep}:
+			case <-op.closeCh:
+				return false
+			}
+		}
+		it := op.getItem()
+		it.seq = seq
+		seq++
+		it.pre = append(it.pre, pre...)
+		it.post = append(it.post, post...)
 		select {
-		case out <- it:
+		case fanIn <- it:
 			return true
 		case <-op.closeCh:
 			return false
@@ -450,12 +590,15 @@ func (op *Operator) preprocess(out chan<- *item) {
 	}
 
 	for {
-		it := op.getItem()
+		// Control slices are freshly allocated per tick: the broadcast epoch
+		// retains them and slow workers may still be reading them while the
+		// scanner has moved on.
+		var pre []ctlMsg
 		if len(active) == 0 {
 			// Idle: block until a query arrives or the operator closes.
 			select {
 			case sub := <-op.admitCh:
-				it.pre = append(it.pre, admit(sub))
+				pre = append(pre, admit(sub))
 			case <-op.closeCh:
 				return
 			}
@@ -465,24 +608,31 @@ func (op *Operator) preprocess(out chan<- *item) {
 		for {
 			select {
 			case sub := <-op.admitCh:
-				it.pre = append(it.pre, admit(sub))
+				pre = append(pre, admit(sub))
 			default:
 				break drainAdmits
+			}
+		}
+		if len(pre) > 0 {
+			if !broadcast(pre, nil) {
+				return
 			}
 		}
 
 		if npages > 0 {
 			t0 := time.Now()
 			rows, err := op.fact.File.Page(pos)
+			op.addBusy(time.Since(t0))
 			if err != nil {
 				// A failed page read aborts every active query; errors are
-				// delivered through finish markers.
+				// delivered through finish markers on a control tick.
+				post := make([]ctlMsg, 0, len(active))
 				for _, sub := range active {
 					sub.err = err
-					it.post = append(it.post, ctlMsg{kind: ctlFinish, sub: sub})
+					post = append(post, ctlMsg{kind: ctlFinish, sub: sub})
 				}
 				active = active[:0]
-				if !send(it) {
+				if !broadcast(nil, post) {
 					return
 				}
 				continue
@@ -490,34 +640,67 @@ func (op *Operator) preprocess(out chan<- *item) {
 			pos = (pos + 1) % npages
 			op.stats.pagesScanned.Add(1)
 			op.stats.factTuplesIn.Add(int64(len(rows)))
-			op.annotate(it, rows, active, nextSlot, ndims)
-			op.addBusy(time.Since(t0))
+
+			it := op.getItem()
+			it.seq = seq
+			seq++
+			it.rows = rows
+			// Deal the page round-robin, but skip workers whose queues are
+			// full so one slow worker cannot head-of-line block the rest —
+			// the distributor's sequence merge makes any assignment
+			// correct. Only when every queue is full does the scanner block
+			// (on the round-robin choice), which is the backpressure path.
+			sent := false
+			for k := 0; k < len(op.workers) && !sent; k++ {
+				select {
+				case op.workers[(wi+k)%len(op.workers)].in <- wmsg{it: it}:
+					wi = (wi + k + 1) % len(op.workers)
+					sent = true
+				default:
+				}
+			}
+			if !sent {
+				w := op.workers[wi]
+				wi = (wi + 1) % len(op.workers)
+				select {
+				case w.in <- wmsg{it: it}:
+				case <-op.closeCh:
+					return
+				}
+			}
 		}
 
-		// Retire queries whose sweep ended with this page (or that canceled).
+		// Retire queries whose sweep ended with this page (or that
+		// canceled). The finish tick follows the sweep's last page, so
+		// every worker and the distributor see that page first.
+		var post []ctlMsg
 		remaining := active[:0]
 		for _, sub := range active {
-			sub.pagesLeft--
+			if npages > 0 {
+				sub.pagesLeft--
+			}
 			if sub.pagesLeft <= 0 || sub.canceled.Load() {
-				it.post = append(it.post, ctlMsg{kind: ctlFinish, sub: sub})
+				post = append(post, ctlMsg{kind: ctlFinish, sub: sub})
 			} else {
 				remaining = append(remaining, sub)
 			}
 		}
 		active = remaining
-
-		if !send(it) {
-			return
+		if len(post) > 0 {
+			if !broadcast(nil, post) {
+				return
+			}
 		}
 	}
 }
 
 // annotate fills it with the page's tuples that satisfy at least one active
 // query's fact predicate, writing each survivor's query bitmap into the flat
-// word arena. This is the steady-state preprocessor hot path: it performs no
-// allocations once the item's arenas have warmed to the page size.
-func (op *Operator) annotate(it *item, rows []types.Row, active []*subscription, nextSlot, ndims int) {
-	stride := (nextSlot + 63) / 64
+// word arena. This is the steady-state per-page hot path of every probe
+// worker: it performs no allocations once the item's arenas have warmed to
+// the page size.
+func (op *Operator) annotate(it *item, rows []types.Row, active []*subscription, nslots, ndims int) {
+	stride := (nslots + 63) / 64
 	if stride == 0 {
 		stride = 1
 	}
@@ -526,9 +709,7 @@ func (op *Operator) annotate(it *item, rows []types.Row, active []*subscription,
 	var dropped int64
 	for _, r := range rows {
 		tw := it.words[n*stride : (n+1)*stride]
-		for j := range tw {
-			tw[j] = 0
-		}
+		clear(tw)
 		for _, sub := range active {
 			if sub.canceled.Load() {
 				continue
@@ -550,54 +731,38 @@ func (op *Operator) annotate(it *item, rows []types.Row, active []*subscription,
 	}
 }
 
-// joinStage is one shared hash-join of the chain. All its state is owned by
-// its goroutine; admission/finish markers arriving in stream order make
-// bitmap updates race-free.
-//
-// The dimension table is an open-addressing, power-of-two, linear-probing
-// index over flat parallel entry stores: keys[i]/rows[i] hold entry i, and
-// slots maps a probed hash to an entry index (+1; 0 means empty). Duplicate
-// join keys keep the first inserted entry reachable, matching the chained
-// map's first-match semantics. Entry bitmaps live in one contiguous arena —
-// entry i owns ebits[i*estride:(i+1)*estride) — so admission and retirement
-// sweep a flat array instead of chasing per-entry pointers.
-type joinStage struct {
+// dimTable is the shared half of one dimension of the chain: an
+// open-addressing, power-of-two, linear-probing probe index over flat
+// parallel entry stores. keys[i]/rows[i] hold entry i, and slots maps a
+// probed hash to an entry index (+1; 0 means empty). Duplicate join keys
+// keep the first inserted entry reachable, matching chained-map first-match
+// semantics. The table is built once and read concurrently by every probe
+// worker; it is never mutated after construction.
+type dimTable struct {
 	idx  int
 	spec DimSpec
-	op   *Operator
-	in   <-chan *item
-	out  chan<- *item
 
 	keys     []types.Datum // entry join keys
 	rows     []types.Row   // entry dimension rows
 	slots    []int32       // open-addressing slots: entry index+1, 0 = empty
 	slotMask uint32        // len(slots)-1 (power of two)
-	ebits    []uint64      // entry bitmap arena
-	estride  int           // words per entry bitmap
-	mask     []uint64      // queries referencing this dimension
 }
 
-func newJoinStage(idx int, spec DimSpec, op *Operator) (*joinStage, error) {
+func newDimTable(idx int, spec DimSpec) (*dimTable, error) {
 	all, err := spec.Table.File.AllRows()
 	if err != nil {
 		return nil, fmt.Errorf("cjoin: build hash table for %q: %w", spec.Table.Name, err)
 	}
-	st := &joinStage{
-		idx:     idx,
-		spec:    spec,
-		op:      op,
-		estride: 1,
-		mask:    make([]uint64, 1),
-	}
+	dt := &dimTable{idx: idx, spec: spec}
 	for _, r := range all {
 		k := r[spec.DimKeyCol]
 		if k.IsNull() {
 			continue
 		}
-		st.keys = append(st.keys, k)
-		st.rows = append(st.rows, r)
+		dt.keys = append(dt.keys, k)
+		dt.rows = append(dt.rows, r)
 	}
-	n := len(st.keys)
+	n := len(dt.keys)
 	if n >= 1<<30 {
 		return nil, fmt.Errorf("cjoin: dimension %q too large (%d rows)", spec.Table.Name, n)
 	}
@@ -605,36 +770,35 @@ func newJoinStage(idx int, spec DimSpec, op *Operator) (*joinStage, error) {
 	for int(size) < 2*n {
 		size <<= 1
 	}
-	st.slots = make([]int32, size)
-	st.slotMask = size - 1
+	dt.slots = make([]int32, size)
+	dt.slotMask = size - 1
 	for i := 0; i < n; i++ {
-		h := uint32(st.keys[i].HashKey()) & st.slotMask
+		h := uint32(dt.keys[i].HashKey()) & dt.slotMask
 		for {
-			s := st.slots[h]
+			s := dt.slots[h]
 			if s == 0 {
-				st.slots[h] = int32(i + 1)
+				dt.slots[h] = int32(i + 1)
 				break
 			}
-			if st.keys[s-1].Equal(st.keys[i]) {
+			if dt.keys[s-1].Equal(dt.keys[i]) {
 				break // duplicate key: the first inserted entry stays reachable
 			}
-			h = (h + 1) & st.slotMask
+			h = (h + 1) & dt.slotMask
 		}
 	}
-	st.ebits = make([]uint64, n*st.estride)
-	return st, nil
+	return dt, nil
 }
 
 // lookup returns the entry index joining key k, or -1. Integer keys — the
 // star-schema common case — compare without the generic Datum path.
-func (st *joinStage) lookup(k types.Datum) int {
-	h := uint32(k.HashKey()) & st.slotMask
+func (dt *dimTable) lookup(k types.Datum) int {
+	h := uint32(k.HashKey()) & dt.slotMask
 	for {
-		s := st.slots[h]
+		s := dt.slots[h]
 		if s == 0 {
 			return -1
 		}
-		ek := st.keys[s-1]
+		ek := dt.keys[s-1]
 		var eq bool
 		if ek.K == types.KindInt && k.K == types.KindInt {
 			eq = ek.I == k.I
@@ -644,91 +808,110 @@ func (st *joinStage) lookup(k types.Datum) int {
 		if eq {
 			return int(s - 1)
 		}
-		h = (h + 1) & st.slotMask
+		h = (h + 1) & dt.slotMask
+	}
+}
+
+// dimState is one worker's replica of a dimension's query state: entry
+// bitmaps recording which queries' dimension predicates each entry
+// satisfies, and the stage mask of queries referencing the dimension. All
+// of it is owned by one worker goroutine; the epoch protocol delivers
+// admissions and retirements in stream order, so updates are race-free
+// without locks. Entry bitmaps live in one contiguous arena — entry i owns
+// ebits[i*estride:(i+1)*estride) — so admission and retirement sweep a flat
+// array instead of chasing per-entry pointers.
+type dimState struct {
+	tab *dimTable
+	op  *Operator
+
+	ebits   []uint64 // entry bitmap arena
+	estride int      // words per entry bitmap
+	mask    []uint64 // queries referencing this dimension
+}
+
+func newDimState(tab *dimTable, op *Operator) dimState {
+	return dimState{
+		tab:     tab,
+		op:      op,
+		estride: 1,
+		ebits:   make([]uint64, len(tab.rows)),
+		mask:    make([]uint64, 1),
 	}
 }
 
 // growTo makes slot id addressable in the entry bitmap arena and the stage
 // mask, re-striding the arena when the query population outgrows it.
-func (st *joinStage) growTo(id int) {
+func (ds *dimState) growTo(id int) {
 	need := id/64 + 1
-	if need > st.estride {
-		n := len(st.rows)
+	if need > ds.estride {
+		n := len(ds.tab.rows)
 		nb := make([]uint64, n*need)
 		for i := 0; i < n; i++ {
-			copy(nb[i*need:], st.ebits[i*st.estride:(i+1)*st.estride])
+			copy(nb[i*need:], ds.ebits[i*ds.estride:(i+1)*ds.estride])
 		}
-		st.ebits, st.estride = nb, need
+		ds.ebits, ds.estride = nb, need
 	}
-	for need > len(st.mask) {
-		st.mask = append(st.mask, 0)
+	for need > len(ds.mask) {
+		ds.mask = append(ds.mask, 0)
 	}
 }
 
-// admitQuery installs the query's bits in this stage: entry bitmaps for
-// every dimension tuple satisfying its (compiled) predicate, and the stage
+// admitQuery installs the query's bits in this replica: entry bitmaps for
+// every dimension tuple satisfying its compiled predicate, and the stage
 // mask.
-func (st *joinStage) admitQuery(sub *subscription) {
-	var pred func(types.Row) bool
-	references := false
-	for i, d := range sub.q.Dims {
-		if sub.dimIdx[i] == st.idx {
-			references = true
-			if d.Pred != nil {
-				pred = expr.Compile(d.Pred)
-			}
-			break
-		}
-	}
-	if !references {
+func (ds *dimState) admitQuery(sub *subscription) {
+	if !sub.dimRef[ds.tab.idx] {
 		return // bits outside the mask pass through unchanged
 	}
-	st.growTo(sub.id)
+	pred := sub.dimPred[ds.tab.idx]
+	ds.growTo(sub.id)
 	w, bit := sub.id/64, uint64(1)<<(uint(sub.id)&63)
-	st.mask[w] |= bit
-	es := st.estride
-	for i, r := range st.rows {
+	ds.mask[w] |= bit
+	es := ds.estride
+	for i, r := range ds.tab.rows {
 		if pred == nil || pred(r) {
-			st.ebits[i*es+w] |= bit
+			ds.ebits[i*es+w] |= bit
 		}
 	}
 }
 
-// finishQuery removes the query's bits from this stage.
-func (st *joinStage) finishQuery(sub *subscription) {
-	if !bitvec.GetWord(st.mask, sub.id) {
+// finishQuery removes the query's bits from this replica.
+func (ds *dimState) finishQuery(sub *subscription) {
+	if !bitvec.GetWord(ds.mask, sub.id) {
 		return
 	}
-	bitvec.ClearWord(st.mask, sub.id)
+	bitvec.ClearWord(ds.mask, sub.id)
 	w, bit := sub.id/64, uint64(1)<<(uint(sub.id)&63)
-	es := st.estride
-	for i := range st.rows {
-		st.ebits[i*es+w] &^= bit
+	es := ds.estride
+	for i := range ds.tab.rows {
+		ds.ebits[i*es+w] &^= bit
 	}
 }
 
-// processTuples probes every live tuple of it against the dimension table,
-// folds the matching entry bitmap (or the stage mask, on a miss) into the
-// tuple's inline bitmap, and compacts the item's arenas in place as tuples
-// die. This is the steady-state join hot path: zero allocations per tuple.
-func (st *joinStage) processTuples(it *item) {
+// processTuples probes every live tuple of it against the shared dimension
+// table, folds the matching entry bitmap (or the stage mask, on a miss)
+// into the tuple's inline bitmap, and compacts the item's arenas in place
+// as tuples die. This is the steady-state probe hot path: zero allocations
+// per tuple.
+func (ds *dimState) processTuples(it *item) {
 	stride, nd := it.stride, it.ndims
-	es := st.estride
+	dt := ds.tab
+	es := ds.estride
 	var probes, misses, dropped int64
 	n := 0
 	for i := 0; i < it.n; i++ {
 		tw := it.words[i*stride : (i+1)*stride]
-		k := it.facts[i][st.spec.FactKeyCol]
+		k := it.facts[i][dt.spec.FactKeyCol]
 		probes++
 		ei := -1
 		if !k.IsNull() {
-			ei = st.lookup(k)
+			ei = dt.lookup(k)
 		}
 		if ei >= 0 {
-			bitvec.AndMaskedWords(tw, st.ebits[ei*es:(ei+1)*es], st.mask)
+			bitvec.AndMaskedWords(tw, ds.ebits[ei*es:(ei+1)*es], ds.mask)
 		} else {
 			misses++
-			bitvec.AndNotWords(tw, st.mask)
+			bitvec.AndNotWords(tw, ds.mask)
 		}
 		if !bitvec.AnyWords(tw) {
 			dropped++
@@ -740,57 +923,152 @@ func (st *joinStage) processTuples(it *item) {
 			copy(it.words[n*stride:(n+1)*stride], tw)
 		}
 		if ei >= 0 {
-			it.dims[n*nd+st.idx] = st.rows[ei]
+			it.dims[n*nd+dt.idx] = dt.rows[ei]
 		}
 		n++
 	}
 	it.n = n
 	if probes > 0 {
-		st.op.stats.probes.Add(probes)
+		ds.op.stats.probes.Add(probes)
 	}
 	if misses > 0 {
-		st.op.stats.probeMisses.Add(misses)
+		ds.op.stats.probeMisses.Add(misses)
 	}
 	if dropped > 0 {
-		st.op.stats.droppedInChain.Add(dropped)
+		ds.op.stats.droppedInChain.Add(dropped)
 	}
 }
 
-// run processes items until the upstream closes.
-func (st *joinStage) run() {
-	defer st.op.wg.Done()
-	defer close(st.out)
-	for it := range st.in {
+// worker is one partitioned probe pipeline: it annotates its share of the
+// fact stream and probes it through every dimension replica, all within one
+// goroutine (no per-dimension hand-off), then forwards the surviving tuples
+// to the distributor.
+type worker struct {
+	op  *Operator
+	in  chan wmsg
+	out chan<- *item
+
+	dims   []dimState
+	active []*subscription // replica of the scanner's active list
+	nslots int             // high-water bitmap slot count among admitted queries
+}
+
+// admit applies one admission to the worker's replicas.
+func (w *worker) admit(sub *subscription) {
+	if sub.id+1 > w.nslots {
+		w.nslots = sub.id + 1
+	}
+	w.active = append(w.active, sub)
+	for i := range w.dims {
+		w.dims[i].admitQuery(sub)
+	}
+}
+
+// retire applies one retirement to the worker's replicas.
+func (w *worker) retire(sub *subscription) {
+	for i, s := range w.active {
+		if s == sub {
+			w.active = append(w.active[:i], w.active[i+1:]...)
+			break
+		}
+	}
+	for i := range w.dims {
+		w.dims[i].finishQuery(sub)
+	}
+}
+
+// run processes ticks until the scanner closes the queue. Control epochs
+// switch the replicated query bitmaps; data ticks are annotated, probed
+// through the whole chain and forwarded to the distributor.
+func (w *worker) run() {
+	defer w.op.wg.Done()
+	defer w.op.prodWG.Done()
+	for msg := range w.in {
 		t0 := time.Now()
-		for _, c := range it.pre {
-			if c.kind == ctlAdmit {
-				st.admitQuery(c.sub)
+		if msg.ep != nil {
+			for _, c := range msg.ep.pre {
+				if c.kind == ctlAdmit {
+					w.admit(c.sub)
+				}
 			}
-		}
-		st.processTuples(it)
-		for _, c := range it.post {
-			if c.kind == ctlFinish {
-				st.finishQuery(c.sub)
+			for _, c := range msg.ep.post {
+				if c.kind == ctlFinish {
+					w.retire(c.sub)
+				}
 			}
+			w.op.addBusy(time.Since(t0))
+			continue
 		}
-		st.op.addBusy(time.Since(t0))
+		it := msg.it
+		w.op.annotate(it, it.rows, w.active, w.nslots, len(w.dims))
+		it.rows = nil
+		for i := range w.dims {
+			w.dims[i].processTuples(it)
+		}
+		w.op.addBusy(time.Since(t0))
 		select {
-		case st.out <- it:
-		case <-st.op.closeCh:
+		case w.out <- it:
+		case <-w.op.closeCh:
 			return
 		}
 	}
 }
 
-// distributor fans joined tuples out to the queries named in their bitmaps
-// and retires queries when their finish markers arrive. Subscriptions are
-// indexed by bitmap slot in a flat slice, and output rows are carved out of
-// a per-batch datum arena, so routing a tuple allocates nothing.
+// distributor merges the worker streams back into tick order, fans joined
+// tuples out to the queries named in their bitmaps and retires queries when
+// their finish ticks arrive. Out-of-order arrivals wait in a power-of-two
+// ring indexed by sequence number; subscriptions are indexed by bitmap slot
+// in a flat slice; and output rows are carved out of a per-batch datum
+// arena — so merging and routing a tuple allocates nothing in steady state.
 type distributor struct {
 	op     *Operator
 	in     <-chan *item
 	subs   []*subscription // slot id → active subscription (nil when free)
 	routed int64           // deliveries since the last counter flush
+
+	next int64   // next tick to process
+	ring []*item // reorder buffer; slot = seq & (len-1)
+}
+
+// enqueue accepts one item from the fan-in, processing it immediately when
+// it is the next tick and stashing it otherwise, then drains every ready
+// successor.
+func (d *distributor) enqueue(it *item) {
+	if it.seq != d.next {
+		d.stash(it)
+		return
+	}
+	d.process(it)
+	d.next++
+	for len(d.ring) > 0 {
+		i := int(d.next) & (len(d.ring) - 1)
+		it2 := d.ring[i]
+		if it2 == nil || it2.seq != d.next {
+			return
+		}
+		d.ring[i] = nil
+		d.process(it2)
+		d.next++
+	}
+}
+
+// stash parks an out-of-order item in the reorder ring, growing the ring
+// when the in-flight span outruns it. Distinct in-flight seqs map to
+// distinct slots because the span is always smaller than the ring.
+func (d *distributor) stash(it *item) {
+	if len(d.ring) == 0 {
+		d.ring = make([]*item, 64)
+	}
+	for it.seq-d.next >= int64(len(d.ring)) {
+		grown := make([]*item, len(d.ring)*2)
+		for _, o := range d.ring {
+			if o != nil {
+				grown[int(o.seq)&(len(grown)-1)] = o
+			}
+		}
+		d.ring = grown
+	}
+	d.ring[int(it.seq)&(len(d.ring)-1)] = it
 }
 
 // deliver flushes sub's pending batch to its output channel. The batch and
@@ -838,6 +1116,14 @@ func (d *distributor) route(sub *subscription, it *item, ti int) {
 	}
 }
 
+// register indexes an admitted subscription by its bitmap slot.
+func (d *distributor) register(sub *subscription) {
+	for sub.id >= len(d.subs) {
+		d.subs = append(d.subs, nil)
+	}
+	d.subs[sub.id] = sub
+}
+
 // finish retires a query: flush, close, recycle its bitmap slot.
 func (d *distributor) finish(sub *subscription) {
 	d.deliver(sub)
@@ -856,47 +1142,70 @@ func (d *distributor) finish(sub *subscription) {
 	}
 }
 
-// run processes items until the upstream closes.
-func (d *distributor) run() {
-	defer d.op.wg.Done()
-	for it := range d.in {
-		t0 := time.Now()
-		for _, c := range it.pre {
-			if c.kind == ctlAdmit {
-				for c.sub.id >= len(d.subs) {
-					d.subs = append(d.subs, nil)
-				}
-				d.subs[c.sub.id] = c.sub
-			}
+// process handles one tick: admissions, tuple routing, retirements.
+func (d *distributor) process(it *item) {
+	t0 := time.Now()
+	for _, c := range it.pre {
+		if c.kind == ctlAdmit {
+			d.register(c.sub)
 		}
-		stride := it.stride
-		for i := 0; i < it.n; i++ {
-			tw := it.words[i*stride : (i+1)*stride]
-			for wi, w := range tw {
-				for w != 0 {
-					id := wi*64 + mathbits.TrailingZeros64(w)
-					w &= w - 1
-					if id < len(d.subs) {
-						if sub := d.subs[id]; sub != nil {
-							d.route(sub, it, i)
-						}
+	}
+	stride := it.stride
+	for i := 0; i < it.n; i++ {
+		tw := it.words[i*stride : (i+1)*stride]
+		for wi, w := range tw {
+			for w != 0 {
+				id := wi*64 + mathbits.TrailingZeros64(w)
+				w &= w - 1
+				if id < len(d.subs) {
+					if sub := d.subs[id]; sub != nil {
+						d.route(sub, it, i)
 					}
 				}
 			}
 		}
-		for _, c := range it.post {
-			if c.kind == ctlFinish {
-				d.finish(c.sub)
+	}
+	for _, c := range it.post {
+		if c.kind == ctlFinish {
+			d.finish(c.sub)
+		}
+	}
+	if d.routed > 0 {
+		d.op.stats.tuplesRouted.Add(d.routed)
+		d.routed = 0
+	}
+	d.op.addBusy(time.Since(t0))
+	d.op.putItem(it)
+}
+
+// run merges and processes ticks until every producer has exited and the
+// fan-in closes, then fails whatever is still active with ErrClosed.
+func (d *distributor) run() {
+	defer d.op.wg.Done()
+	for it := range d.in {
+		d.enqueue(it)
+	}
+	// Pipeline shut down. The fan-in closed after the scanner and every
+	// worker exited, so no more ticks can arrive; ticks dropped on the way
+	// down may have left sequence gaps, so first recover admissions parked
+	// in the reorder ring and the scanner's still-active list, then fail
+	// every remaining query. Each subscription occupies exactly one bitmap
+	// slot, so the final loop closes each output channel exactly once.
+	for _, it := range d.ring {
+		if it == nil {
+			continue
+		}
+		for _, c := range it.pre {
+			if c.kind == ctlAdmit {
+				d.register(c.sub)
 			}
 		}
-		if d.routed > 0 {
-			d.op.stats.tuplesRouted.Add(d.routed)
-			d.routed = 0
-		}
-		d.op.addBusy(time.Since(t0))
-		d.op.putItem(it)
 	}
-	// Pipeline shut down: fail whatever is still active.
+	d.op.stragglerMu.Lock()
+	for _, sub := range d.op.stragglers {
+		d.register(sub)
+	}
+	d.op.stragglerMu.Unlock()
 	for _, sub := range d.subs {
 		if sub == nil {
 			continue

@@ -10,11 +10,15 @@ import (
 	"repro/internal/types"
 )
 
-// bareOp builds an operator shell sufficient for driving the preprocessor
-// annotate path and join-stage probe path directly, without starting the
+// bareOp builds an operator shell sufficient for driving the worker
+// annotate path and dimension probe path directly, without starting the
 // pipeline goroutines.
 func bareOp(t testing.TB, cat *storage.Catalog) *Operator {
 	t.Helper()
+	cfg, err := Config{}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
 	op := &Operator{
 		fact: cat.MustTable("lo"),
 		specs: []DimSpec{
@@ -22,9 +26,21 @@ func bareOp(t testing.TB, cat *storage.Catalog) *Operator {
 			{Table: cat.MustTable("part"), FactKeyCol: 2, DimKeyCol: 0},
 		},
 		byName: map[string]int{"cust": 0, "part": 1},
-		cfg:    Config{}.withDefaults(),
+		cfg:    cfg,
 	}
 	return op
+}
+
+// newDimStateFor builds one worker replica over a freshly built shared
+// probe index.
+func newDimStateFor(t testing.TB, idx int, spec DimSpec, op *Operator) *dimState {
+	t.Helper()
+	tab, err := newDimTable(idx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := newDimState(tab, op)
+	return &ds
 }
 
 // refLookup replicates the seed's chained-map probe: first entry in
@@ -81,38 +97,38 @@ func TestOpenAddressingMatchesChainedMap(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st, err := newJoinStage(0, DimSpec{Table: dim, FactKeyCol: 0, DimKeyCol: 0}, &Operator{})
+	tab, err := newDimTable(0, DimSpec{Table: dim, FactKeyCol: 0, DimKeyCol: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := newRefLookup(st.keys)
+	ref := newRefLookup(tab.keys)
 
 	for i := 0; i < 160; i++ {
 		k := types.NewString(fmt.Sprintf("key-%d", i)) // 140..159 are misses
-		got, want := st.lookup(k), ref.lookup(k)
+		got, want := tab.lookup(k), ref.lookup(k)
 		if got != want {
 			t.Errorf("lookup(%v) = %d, want %d", k, got, want)
 		}
 	}
-	if got := st.lookup(types.NewInt(5)); got != ref.lookup(types.NewInt(5)) {
+	if got := tab.lookup(types.NewInt(5)); got != ref.lookup(types.NewInt(5)) {
 		t.Errorf("cross-kind lookup mismatch: %d", got)
 	}
 
 	// Integer keys through the multiply-shift fast path.
 	cat2 := starDB(t, 500)
-	st2, err := newJoinStage(0, DimSpec{Table: cat2.MustTable("part"), FactKeyCol: 2, DimKeyCol: 0}, &Operator{})
+	tab2, err := newDimTable(0, DimSpec{Table: cat2.MustTable("part"), FactKeyCol: 2, DimKeyCol: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref2 := newRefLookup(st2.keys)
+	ref2 := newRefLookup(tab2.keys)
 	for i := -5; i < 30; i++ {
 		k := types.NewInt(int64(i))
-		if got, want := st2.lookup(k), ref2.lookup(k); got != want {
+		if got, want := tab2.lookup(k), ref2.lookup(k); got != want {
 			t.Errorf("int lookup(%d) = %d, want %d", i, got, want)
 		}
 		// Integral floats must find the same entry as their int counterpart.
 		f := types.NewFloat(float64(i))
-		if got, want := st2.lookup(f), ref2.lookup(f); got != want {
+		if got, want := tab2.lookup(f), ref2.lookup(f); got != want {
 			t.Errorf("float lookup(%v) = %d, want %d", f, got, want)
 		}
 	}
@@ -175,10 +191,7 @@ func TestProbePathZeroAllocs(t *testing.T) {
 	subs := testSubs(t, op, cat)
 	master, _ := annotatedItem(t, op, subs)
 
-	st, err := newJoinStage(0, op.specs[0], op)
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := newDimStateFor(t, 0, op.specs[0], op)
 	for _, sub := range subs {
 		st.admitQuery(sub)
 	}
@@ -237,10 +250,7 @@ func BenchmarkCJoinProbe(b *testing.B) {
 	subs := testSubs(b, op, cat)
 	master, _ := annotatedItem(b, op, subs)
 
-	st, err := newJoinStage(0, op.specs[0], op)
-	if err != nil {
-		b.Fatal(err)
-	}
+	st := newDimStateFor(b, 0, op.specs[0], op)
 	for _, sub := range subs {
 		st.admitQuery(sub)
 	}

@@ -1,0 +1,88 @@
+package types
+
+import (
+	"math"
+	"testing"
+)
+
+// hashConsistent reports whether the documented hash/equality contract is
+// expected to hold for the pair (a, b): datums that compare equal must hash
+// equally, except across the float fast-path boundary — a float beyond 2^62
+// (or a non-integral promotion) falls back to bit-pattern hashing while
+// Compare promotes both sides to float64, so cross-kind equality beyond the
+// bound (or through a lossy int64→float64 conversion) is not tracked by
+// either Hash or HashKey.
+func hashConsistent(a, b Datum) bool {
+	if a.K != KindFloat && b.K != KindFloat {
+		return true
+	}
+	if (a.K == KindFloat && math.IsNaN(a.F)) || (b.K == KindFloat && math.IsNaN(b.F)) {
+		// Compare's float branch reports NaN "equal" to every numeric
+		// (neither < nor > holds); no hash tracks that corner.
+		return false
+	}
+	if a.K == KindFloat && b.K == KindFloat {
+		return true // same payload kind: Equal implies identical or ±0 values
+	}
+	fl, iv := a, b
+	if b.K == KindFloat {
+		fl, iv = b, a
+	}
+	if fl.F != math.Trunc(fl.F) || math.IsInf(fl.F, 0) || math.Abs(fl.F) >= 1<<62 {
+		return false // non-integral, infinite, NaN or out-of-bound float
+	}
+	if iv.K == KindNull || iv.K == KindString {
+		return true // different comparison class; never Equal anyway
+	}
+	// The promotion int64→float64 must be lossless for the fast paths to
+	// agree.
+	return int64(float64(iv.I)) == iv.I
+}
+
+// FuzzHashKey checks Datum.HashKey's two contracts on arbitrary values:
+// determinism, and hash/equality consistency across the integer-class and
+// float fast paths (NewInt(n) vs NewFloat(float64(n)), dates and bools
+// sharing the int payload path, strings through the FNV fallback).
+func FuzzHashKey(f *testing.F) {
+	f.Add(int64(0), 0.0, "")
+	f.Add(int64(42), 42.0, "key")
+	f.Add(int64(-1), -1.0, "x")
+	f.Add(int64(math.MaxInt64), 4.611686018427388e18, "boundary") // ~2^62
+	f.Add(int64(1<<53+1), 9.007199254740993e15, "lossy")
+	f.Add(int64(7), 7.5, "seven")
+	f.Add(int64(1), math.NaN(), "nan")
+	f.Fuzz(func(t *testing.T, i int64, fv float64, s string) {
+		datums := []Datum{
+			NewInt(i),
+			NewFloat(fv),
+			NewFloat(float64(i)),
+			NewString(s),
+			NewDate(i),
+			NewBool(i%2 != 0),
+			Null,
+		}
+		for _, d := range datums {
+			if d.HashKey() != d.HashKey() {
+				t.Fatalf("HashKey(%v) is not deterministic", d)
+			}
+			if d.Hash(1) != d.Hash(1) {
+				t.Fatalf("Hash(%v) is not deterministic", d)
+			}
+		}
+		for _, a := range datums {
+			for _, b := range datums {
+				if !a.Equal(b) || !hashConsistent(a, b) {
+					continue
+				}
+				if a.HashKey() != b.HashKey() {
+					t.Errorf("%v (kind %v) equals %v (kind %v) but HashKey %#x != %#x",
+						a, a.K, b, b.K, a.HashKey(), b.HashKey())
+				}
+				if a.Hash(1) != b.Hash(1) {
+					t.Errorf("%v (kind %v) equals %v (kind %v) but Hash %#x != %#x",
+						a, a.K, b, b.K, a.Hash(1), b.Hash(1))
+				}
+			}
+		}
+	})
+}

@@ -80,12 +80,30 @@ func newCatalog(factRows int, res Residency, poolPages int) (*storage.Catalog, *
 	return storage.NewCatalog(disk, poolPages, true), disk, poolPages
 }
 
+// EnvConfig parameterizes an environment beyond the positional basics:
+// today that is the degree of CJOIN data parallelism.
+type EnvConfig struct {
+	SF        float64
+	Residency Residency
+	PoolPages int
+	Seed      int64
+	// Workers is the number of parallel CJOIN probe pipelines
+	// (0 = GOMAXPROCS); it is the scenarios' workers=N axis.
+	Workers int
+}
+
 // NewSSBEnv generates an SSB database and starts the CJOIN operator over
-// the chain date → customer → supplier → part.
+// the chain date → customer → supplier → part, with the default degree of
+// probe parallelism.
 func NewSSBEnv(sf float64, res Residency, poolPages int, seed int64) (*Env, error) {
-	factRows := int(float64(ssb.LineorderRowsPerSF) * sf)
-	cat, disk, pool := newCatalog(factRows, res, poolPages)
-	db, err := ssb.Generate(cat, sf, seed)
+	return NewSSBEnvCfg(EnvConfig{SF: sf, Residency: res, PoolPages: poolPages, Seed: seed})
+}
+
+// NewSSBEnvCfg is NewSSBEnv with every knob exposed.
+func NewSSBEnvCfg(cfg EnvConfig) (*Env, error) {
+	factRows := int(float64(ssb.LineorderRowsPerSF) * cfg.SF)
+	cat, disk, pool := newCatalog(factRows, cfg.Residency, cfg.PoolPages)
+	db, err := ssb.Generate(cat, cfg.SF, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("workload: generate ssb: %w", err)
 	}
@@ -94,11 +112,11 @@ func NewSSBEnv(sf float64, res Residency, poolPages int, seed int64) (*Env, erro
 		{Table: db.Customer, FactKeyCol: ssb.LOCustKey, DimKeyCol: ssb.CCustKey},
 		{Table: db.Supplier, FactKeyCol: ssb.LOSuppKey, DimKeyCol: ssb.SSuppKey},
 		{Table: db.Part, FactKeyCol: ssb.LOPartKey, DimKeyCol: ssb.PPartKey},
-	}, cjoin.Config{})
+	}, cjoin.Config{Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("workload: start cjoin: %w", err)
 	}
-	return &Env{Cat: cat, Disk: disk, SSB: db, CJoin: op, Residency: res, PoolPages: pool}, nil
+	return &Env{Cat: cat, Disk: disk, SSB: db, CJoin: op, Residency: cfg.Residency, PoolPages: pool}, nil
 }
 
 // NewTPCHEnv generates the lineitem table for Scenario I.

@@ -72,6 +72,8 @@ type ScenarioIIConfig struct {
 	BufferPoolPages int
 	Batching        bool
 	Seed            int64
+	// Workers is the CJOIN probe parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c ScenarioIIConfig) withDefaults() ScenarioIIConfig {
@@ -117,7 +119,8 @@ type ScenarioIIResult struct {
 // concurrency.
 func RunScenarioII(ctx context.Context, cfg ScenarioIIConfig) (*ScenarioIIResult, error) {
 	cfg = cfg.withDefaults()
-	env, err := NewSSBEnv(cfg.SF, cfg.Residency, cfg.BufferPoolPages, cfg.Seed)
+	env, err := NewSSBEnvCfg(EnvConfig{SF: cfg.SF, Residency: cfg.Residency,
+		PoolPages: cfg.BufferPoolPages, Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +171,8 @@ type ScenarioIIIConfig struct {
 	Duration      time.Duration
 	Residency     Residency
 	Seed          int64
+	// Workers is the CJOIN probe parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c ScenarioIIIConfig) withDefaults() ScenarioIIIConfig {
@@ -213,7 +218,8 @@ type ScenarioIIIResult struct {
 // Expected shape: the query-centric line stays above the GQP line.
 func RunScenarioIII(ctx context.Context, cfg ScenarioIIIConfig) (*ScenarioIIIResult, error) {
 	cfg = cfg.withDefaults()
-	env, err := NewSSBEnv(cfg.SF, cfg.Residency, 0, cfg.Seed)
+	env, err := NewSSBEnvCfg(EnvConfig{SF: cfg.SF, Residency: cfg.Residency,
+		Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -273,6 +279,8 @@ type ScenarioIVConfig struct {
 	Residency       Residency
 	BufferPoolPages int
 	Seed            int64
+	// Workers is the CJOIN probe parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c ScenarioIVConfig) withDefaults() ScenarioIVConfig {
@@ -325,7 +333,8 @@ type ScenarioIVResult struct {
 // gqp; the gap closes as plan diversity grows and SP opportunities vanish.
 func RunScenarioIV(ctx context.Context, cfg ScenarioIVConfig) (*ScenarioIVResult, error) {
 	cfg = cfg.withDefaults()
-	env, err := NewSSBEnv(cfg.SF, cfg.Residency, cfg.BufferPoolPages, cfg.Seed)
+	env, err := NewSSBEnvCfg(EnvConfig{SF: cfg.SF, Residency: cfg.Residency,
+		PoolPages: cfg.BufferPoolPages, Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
