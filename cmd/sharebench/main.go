@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -42,7 +43,37 @@ var (
 	batching    = flag.Bool("batching", false, "batched submission for scenario 2")
 	poolPages   = flag.Int("pool-pages", 0, "buffer pool pages (0 = scenario default)")
 	workers     = flag.Int("workers", 0, "CJOIN probe workers, scenarios 2-4 (0 = GOMAXPROCS)")
+	jsonPath    = flag.String("json", "", "also write machine-readable results (JSON array) to this path")
 )
+
+// benchRecord is one (scenario, line, axis point) measurement of the JSON
+// output: ns/op is the mean per-query response time (the workload response
+// time for scenario 1), allocs/op the heap allocations per completed query,
+// q/s the throughput (zero for scenario 1, which measures response time).
+type benchRecord struct {
+	Scenario    string  `json:"scenario"`
+	Line        string  `json:"line"`
+	Axis        string  `json:"axis"`
+	X           float64 `json:"x"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	QPS         float64 `json:"qps"`
+	CPUUtil     float64 `json:"cpu_util"`
+}
+
+// jsonRecords accumulates every scenario's points for the -json output.
+var jsonRecords []benchRecord
+
+func writeJSON(path string) {
+	out, err := json.MarshalIndent(jsonRecords, "", "  ")
+	if err != nil {
+		log.Fatalf("marshal -json results: %v", err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		log.Fatalf("write -json results: %v", err)
+	}
+}
 
 func parseIntList(s string) ([]int, error) {
 	var out []int
@@ -152,6 +183,9 @@ func main() {
 	if run["4"] {
 		runScenarioIV(ctx)
 	}
+	if *jsonPath != "" {
+		writeJSON(*jsonPath)
+	}
 }
 
 func header(title string) {
@@ -191,6 +225,14 @@ func runScenarioI(ctx context.Context) {
 			fmt.Printf(" %s=%.2f", shortLabel(l), pt.CPUUtil[l])
 		}
 		fmt.Println()
+	}
+	for _, pt := range res.Points {
+		for _, l := range res.Lines {
+			jsonRecords = append(jsonRecords, benchRecord{
+				Scenario: "1", Line: l, Axis: "concurrency", X: float64(pt.Concurrency),
+				NsPerOp: float64(pt.Response[l].Nanoseconds()), CPUUtil: pt.CPUUtil[l],
+			})
+		}
 	}
 	fmt.Println("\nexpected shape: push-SP grows with concurrency at flat CPU (copy serialization")
 	fmt.Println("point); pull-SP stays near-flat; query-centric is competitive only while")
@@ -258,6 +300,15 @@ func runScenarioII(ctx context.Context) {
 		}
 		fmt.Println()
 	}
+	for _, pt := range res.Points {
+		for _, l := range res.Lines {
+			jsonRecords = append(jsonRecords, benchRecord{
+				Scenario: "2", Line: l, Axis: "clients", X: float64(pt.Clients),
+				NsPerOp: float64(pt.MeanLatency[l].Nanoseconds()), AllocsPerOp: pt.Allocs[l],
+				QPS: pt.Throughput[l], CPUUtil: pt.CPUUtil[l],
+			})
+		}
+	}
 	fmt.Println("\nexpected shape: the GQP line overtakes the query-centric line as concurrency grows.")
 }
 
@@ -297,6 +348,15 @@ func runScenarioIII(ctx context.Context) {
 		}
 		fmt.Println()
 	}
+	for _, pt := range res.Points {
+		for _, l := range res.Lines {
+			jsonRecords = append(jsonRecords, benchRecord{
+				Scenario: "3", Line: l, Axis: "selectivity", X: pt.Selectivity,
+				NsPerOp: float64(pt.MeanLatency[l].Nanoseconds()), AllocsPerOp: pt.Allocs[l],
+				QPS: pt.Throughput[l], CPUUtil: pt.CPUUtil[l],
+			})
+		}
+	}
 	fmt.Println("\nexpected shape: at low concurrency the GQP's bitmap bookkeeping keeps it below")
 	fmt.Println("query-centric operators across the sweep.")
 }
@@ -334,6 +394,15 @@ func runScenarioIV(ctx context.Context) {
 			fmt.Printf("%14.1f", pt.Throughput[l])
 		}
 		fmt.Printf("%14d%14d\n", pt.Admitted[workload.LineGQPSP], pt.SPAttachedCJoin[workload.LineGQPSP])
+	}
+	for _, pt := range res.Points {
+		for _, l := range res.Lines {
+			jsonRecords = append(jsonRecords, benchRecord{
+				Scenario: "4", Line: l, Axis: "plans", X: float64(pt.Plans),
+				NsPerOp: float64(pt.MeanLatency[l].Nanoseconds()), AllocsPerOp: pt.Allocs[l],
+				QPS: pt.Throughput[l],
+			})
+		}
 	}
 	fmt.Println("\nexpected shape: with few distinct plans gqp+sp admits a fraction of the queries")
 	fmt.Println("(satellites share the host's CJOIN output) and outperforms plain gqp; the gap")

@@ -6,17 +6,66 @@
 // batch among all consumers.
 package batch
 
-import "repro/internal/types"
+import (
+	"sync/atomic"
+
+	"repro/internal/types"
+	"repro/internal/vec"
+)
 
 // DefaultCapacity is the default number of rows per batch. It plays the role
 // of the page size in the original page-based exchange.
 const DefaultCapacity = 1024
 
+// colsRef pairs a columnar view with the selection mapping the batch's rows
+// into it: Rows[i] is row Sel[i] of Cols (Sel nil = identity).
+type colsRef struct {
+	cb  *vec.ColBatch
+	sel []int32
+}
+
 // Batch is a page of rows. Once a producer hands a batch downstream the
 // batch and its rows must be treated as immutable; this is what makes the
 // zero-copy SPL hand-off safe.
+//
+// A batch may additionally carry a columnar view of the same rows (SetCols),
+// which exactly one downstream consumer can claim with TakeCols to run
+// vectorized kernels instead of the row loop. The claim is an atomic swap,
+// so SPL-shared batches with several concurrent consumers stay safe: one
+// consumer vectorizes, the rest fall back to Rows. Clones do not carry the
+// view.
 type Batch struct {
 	Rows []types.Row
+
+	cols atomic.Pointer[colsRef]
+}
+
+// SetCols attaches a columnar view: Rows[i] is row sel[i] of cb (sel nil
+// means Rows[i] is row i). Ownership of the caller's reference on cb moves
+// into the batch; whoever claims the view via TakeCols must Release it. An
+// unclaimed view is reclaimed by the garbage collector (the batch pool never
+// sees it), so dropping a batch without consuming the view is safe.
+func (b *Batch) SetCols(cb *vec.ColBatch, sel []int32) {
+	b.cols.Store(&colsRef{cb: cb, sel: sel})
+}
+
+// TakeCols claims the columnar view, transferring the reference (and the
+// obligation to Release it) to the caller. Every claim after the first — or
+// on a batch that never had a view — returns nil.
+func (b *Batch) TakeCols() (*vec.ColBatch, []int32) {
+	if ref := b.cols.Swap(nil); ref != nil {
+		return ref.cb, ref.sel
+	}
+	return nil, nil
+}
+
+// ReleaseCols claims and immediately releases the columnar view, for
+// consumers that only need the rows. A no-op when the view is absent or
+// already claimed.
+func (b *Batch) ReleaseCols() {
+	if cb, _ := b.TakeCols(); cb != nil {
+		cb.Release()
+	}
 }
 
 // New returns an empty batch with the given row capacity.

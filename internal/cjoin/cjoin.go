@@ -32,18 +32,28 @@
 // first page of its sweep, its finish tick follows the last — and each
 // query's batches are delivered in scan order.
 //
-// The data path is allocation-free in steady state per worker: each pipeline
-// item owns flat arenas (one []uint64 bitmap arena where tuple i holds words
-// [i*stride,(i+1)*stride), one joined-dimension-row arena, one fact-row
-// array) recycled through a sync.Pool; per-query predicates are compiled to
-// closures once at subscription; and the distributor carves output rows out
-// of a per-batch datum arena instead of allocating one row per routed tuple.
+// The data path is columnar and allocation-free in steady state per worker:
+// fact pages arrive as typed column batches (vec.ColBatch) shared from the
+// buffer pool's per-frame columnar cache; each worker annotates a page by
+// running every active query's vectorized fact predicate (expr.CompileVec)
+// over the batch into a selection vector and scattering the query's bit into
+// the flat inline bitmap arena; the probe loop reads the join-key column as
+// a raw []int64 (the star-schema common case) instead of boxing datums; and
+// the distributor routes surviving tuples by reading fact columns straight
+// from the batch, materializing output rows only at the delivery boundary,
+// carved out of a per-batch datum arena. Each pipeline item owns flat arenas
+// (one []uint64 bitmap arena where tuple i holds words
+// [i*stride,(i+1)*stride), one joined-dimension-row arena, one live-row
+// index array) recycled through a sync.Pool; dimension tables with string
+// join keys are dictionary-encoded at build time so probe-side equality is
+// an int compare.
 package cjoin
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	mathbits "math/bits"
 	"runtime"
 	"sync"
@@ -56,6 +66,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // ErrClosed is returned by Run after the operator has been shut down.
@@ -175,24 +186,27 @@ type wmsg struct {
 // seq order.
 //
 // Tuples live in flat arenas so a page costs zero steady-state allocations:
-// tuple i's fact row is facts[i], its query bitmap is the word slice
-// words[i*stride:(i+1)*stride], and its joined row for dimension j is
-// dims[i*ndims+j]. The probe loop compacts the arenas in place as tuples
-// die. A dims slot is only ever read for a (tuple, query) pair whose bit
-// survived that dimension's probe, which implies the probe hit and wrote the
-// slot on the current page — so stale slots from a recycled item are never
-// observed and need not be cleared.
+// tuple i is row rowIdx[i] of the page's column batch cols, its query bitmap
+// is the word slice words[i*stride:(i+1)*stride], and its joined row for
+// dimension j is dims[i*ndims+j]. The probe loop compacts the arenas in
+// place as tuples die. A dims slot is only ever read for a (tuple, query)
+// pair whose bit survived that dimension's probe, which implies the probe
+// hit and wrote the slot on the current page — so stale slots from a
+// recycled item are never observed and need not be cleared.
 type item struct {
 	seq  int64
 	pre  []ctlMsg
 	post []ctlMsg
 
-	rows []types.Row // scanner → worker: the decoded fact page (data ticks)
+	// cols is the decoded fact page (data ticks), shared from the buffer
+	// pool's columnar cache. The item owns one reference, released when the
+	// distributor recycles the item.
+	cols *vec.ColBatch
 
 	n      int         // live tuples
 	stride int         // bitmap words per tuple
 	ndims  int         // dimension slots per tuple
-	facts  []types.Row // facts[:n] are the fact rows
+	rowIdx []int32     // rowIdx[:n]: live tuple i → row index in cols
 	dims   []types.Row // dims[i*ndims+j]: joined row of dim j for tuple i
 	words  []uint64    // words[i*stride:(i+1)*stride]: tuple i's bitmap
 }
@@ -200,10 +214,10 @@ type item struct {
 // ensure sizes the arenas for n tuples with the given bitmap stride.
 func (it *item) ensure(n, stride, ndims int) {
 	it.stride, it.ndims = stride, ndims
-	if cap(it.facts) < n {
-		it.facts = make([]types.Row, n)
+	if cap(it.rowIdx) < n {
+		it.rowIdx = make([]int32, n)
 	} else {
-		it.facts = it.facts[:n]
+		it.rowIdx = it.rowIdx[:n]
 	}
 	if cap(it.dims) < n*ndims {
 		it.dims = make([]types.Row, n*ndims)
@@ -226,8 +240,12 @@ func (op *Operator) getItem() *item {
 }
 
 // putItem recycles an item after the distributor is done with it. Control
-// slots and row arenas are zeroed so pooled items do not pin retired
-// subscriptions or decoded fact/dimension pages across idle periods.
+// slots are zeroed so pooled items do not pin retired subscriptions across
+// idle periods, and the item's reference on the page batch is released back
+// to the columnar cache's pool. The dimension-row arena is left as is:
+// stale slots reference rows the dimension tables pin for the operator's
+// lifetime anyway, and the probe loop never reads a slot it did not write
+// on the current page.
 func (op *Operator) putItem(it *item) {
 	for i := range it.pre {
 		it.pre[i] = ctlMsg{}
@@ -236,10 +254,11 @@ func (op *Operator) putItem(it *item) {
 		it.post[i] = ctlMsg{}
 	}
 	it.pre, it.post = it.pre[:0], it.post[:0]
-	it.rows = nil
+	if it.cols != nil {
+		it.cols.Release()
+		it.cols = nil
+	}
 	it.seq = 0
-	clear(it.facts[:cap(it.facts)])
-	clear(it.dims[:cap(it.dims)])
 	it.n = 0
 	op.itemPool.Put(it)
 }
@@ -255,6 +274,7 @@ type routeCol struct {
 type subscription struct {
 	q        *plan.StarQuery
 	factPred func(types.Row) bool // nil means all fact rows qualify
+	factVec  expr.VecPred         // vectorized form of factPred (nil iff factPred is)
 	dimIdx   []int                // operator dim index per q.Dims entry
 
 	// Per-operator-dimension admission plan, compiled once at subscription
@@ -485,6 +505,7 @@ func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 	}
 	if q.FactPred != nil {
 		sub.factPred = expr.Compile(q.FactPred)
+		sub.factVec = expr.CompileVec(q.FactPred)
 	}
 	sub.outWidth = len(q.FactCols)
 	for _, d := range q.Dims {
@@ -621,7 +642,7 @@ func (op *Operator) scan(fanIn chan<- *item) {
 
 		if npages > 0 {
 			t0 := time.Now()
-			rows, err := op.fact.File.Page(pos)
+			cb, err := op.fact.File.PageCols(pos)
 			op.addBusy(time.Since(t0))
 			if err != nil {
 				// A failed page read aborts every active query; errors are
@@ -639,12 +660,12 @@ func (op *Operator) scan(fanIn chan<- *item) {
 			}
 			pos = (pos + 1) % npages
 			op.stats.pagesScanned.Add(1)
-			op.stats.factTuplesIn.Add(int64(len(rows)))
+			op.stats.factTuplesIn.Add(int64(cb.Len()))
 
 			it := op.getItem()
 			it.seq = seq
 			seq++
-			it.rows = rows
+			it.cols = cb
 			// Deal the page round-robin, but skip workers whose queues are
 			// full so one slow worker cannot head-of-line block the rest —
 			// the distributor's sequence merge makes any assignment
@@ -696,38 +717,59 @@ func (op *Operator) scan(fanIn chan<- *item) {
 
 // annotate fills it with the page's tuples that satisfy at least one active
 // query's fact predicate, writing each survivor's query bitmap into the flat
-// word arena. This is the steady-state per-page hot path of every probe
-// worker: it performs no allocations once the item's arenas have warmed to
-// the page size.
-func (op *Operator) annotate(it *item, rows []types.Row, active []*subscription, nslots, ndims int) {
+// word arena. Each query's vectorized fact predicate runs over the whole
+// column batch into a selection vector (tight typed-slice loops instead of a
+// per-row closure call), and the query's bit is scattered into the bitmap of
+// every selected row; a final pass compacts the surviving rows. This is the
+// steady-state per-page hot path of every probe worker: it performs no
+// allocations once the worker's buffers have warmed to the page size.
+func (w *worker) annotate(it *item, active []*subscription, nslots int) {
+	cb := it.cols
+	nrows := cb.Len()
 	stride := (nslots + 63) / 64
 	if stride == 0 {
 		stride = 1
 	}
-	it.ensure(len(rows), stride, ndims)
+	it.ensure(nrows, stride, len(w.dims))
+	words := it.words
+	clear(words)
+	all := cb.AllSel()
+	if cap(w.selBuf) < nrows {
+		w.selBuf = make([]int32, nrows)
+	}
+	sel := w.selBuf[:nrows]
+	for _, sub := range active {
+		if sub.canceled.Load() {
+			continue
+		}
+		wi, bit := uint(sub.id)>>6, uint64(1)<<(uint(sub.id)&63)
+		if sub.factVec == nil {
+			for r := 0; r < nrows; r++ {
+				words[r*stride+int(wi)] |= bit
+			}
+			continue
+		}
+		for _, r := range sub.factVec(cb, all, sel, &w.scratch) {
+			words[int(r)*stride+int(wi)] |= bit
+		}
+	}
 	n := 0
 	var dropped int64
-	for _, r := range rows {
-		tw := it.words[n*stride : (n+1)*stride]
-		clear(tw)
-		for _, sub := range active {
-			if sub.canceled.Load() {
-				continue
-			}
-			if sub.factPred == nil || sub.factPred(r) {
-				tw[uint(sub.id)>>6] |= 1 << (uint(sub.id) & 63)
-			}
-		}
+	for r := 0; r < nrows; r++ {
+		tw := words[r*stride : (r+1)*stride]
 		if !bitvec.AnyWords(tw) {
 			dropped++
 			continue
 		}
-		it.facts[n] = r
+		it.rowIdx[n] = int32(r)
+		if n != r {
+			copy(words[n*stride:(n+1)*stride], tw)
+		}
 		n++
 	}
 	it.n = n
 	if dropped > 0 {
-		op.stats.droppedAtScan.Add(dropped)
+		w.op.stats.droppedAtScan.Add(dropped)
 	}
 }
 
@@ -738,6 +780,12 @@ func (op *Operator) annotate(it *item, rows []types.Row, active []*subscription,
 // keep the first inserted entry reachable, matching chained-map first-match
 // semantics. The table is built once and read concurrently by every probe
 // worker; it is never mutated after construction.
+//
+// Tables whose join keys are all strings are dictionary-encoded at build
+// time: equal keys share an int32 code (the index of their first entry), the
+// slots hash over the code, and a probe resolves the fact-side string to a
+// code once (one map lookup) after which slot equality is an int compare —
+// no per-slot string comparisons.
 type dimTable struct {
 	idx  int
 	spec DimSpec
@@ -746,7 +794,23 @@ type dimTable struct {
 	rows     []types.Row   // entry dimension rows
 	slots    []int32       // open-addressing slots: entry index+1, 0 = empty
 	slotMask uint32        // len(slots)-1 (power of two)
+
+	strDict map[string]int32 // string key → code; nil unless all keys are strings
+	codes   []int32          // per-entry dictionary code (strDict tables only)
+
+	// Dense direct index, built when every key is integer-class and the key
+	// range is at most directSpanFactor times the entry count (star-schema
+	// surrogate keys and date keys are dense): direct[k-directMin] holds
+	// entry index+1, so a probe is one bounds check and one array load — no
+	// hashing. nil when the keys are not dense ints.
+	direct    []int32
+	directMin int64
+	directMax int64
 }
+
+// directSpanFactor bounds the memory of the dense index relative to the
+// entry count.
+const directSpanFactor = 4
 
 func newDimTable(idx int, spec DimSpec) (*dimTable, error) {
 	all, err := spec.Table.File.AllRows()
@@ -754,10 +818,14 @@ func newDimTable(idx int, spec DimSpec) (*dimTable, error) {
 		return nil, fmt.Errorf("cjoin: build hash table for %q: %w", spec.Table.Name, err)
 	}
 	dt := &dimTable{idx: idx, spec: spec}
+	allStr := true
 	for _, r := range all {
 		k := r[spec.DimKeyCol]
 		if k.IsNull() {
 			continue
+		}
+		if k.K != types.KindString {
+			allStr = false
 		}
 		dt.keys = append(dt.keys, k)
 		dt.rows = append(dt.rows, r)
@@ -766,32 +834,140 @@ func newDimTable(idx int, spec DimSpec) (*dimTable, error) {
 	if n >= 1<<30 {
 		return nil, fmt.Errorf("cjoin: dimension %q too large (%d rows)", spec.Table.Name, n)
 	}
-	size := uint32(16)
-	for int(size) < 2*n {
-		size <<= 1
+	if allStr && n > 0 {
+		dt.strDict = make(map[string]int32, n)
+		dt.codes = make([]int32, n)
+		for i, k := range dt.keys {
+			c, ok := dt.strDict[k.S]
+			if !ok {
+				c = int32(i)
+				dt.strDict[k.S] = c
+			}
+			dt.codes[i] = c
+		}
 	}
-	dt.slots = make([]int32, size)
-	dt.slotMask = size - 1
-	for i := 0; i < n; i++ {
-		h := uint32(dt.keys[i].HashKey()) & dt.slotMask
-		for {
-			s := dt.slots[h]
-			if s == 0 {
-				dt.slots[h] = int32(i + 1)
-				break
+	dt.buildDirect()
+	if dt.direct == nil {
+		// Every lookup path on a direct-indexed table answers from the
+		// dense array, so the slot table is only built when it is probed.
+		size := uint32(16)
+		for int(size) < 2*n {
+			size <<= 1
+		}
+		dt.slots = make([]int32, size)
+		dt.slotMask = size - 1
+		for i := 0; i < n; i++ {
+			h := uint32(dt.entryHash(i)) & dt.slotMask
+			for {
+				s := dt.slots[h]
+				if s == 0 {
+					dt.slots[h] = int32(i + 1)
+					break
+				}
+				if dt.entryEqual(int(s-1), i) {
+					break // duplicate key: the first inserted entry stays reachable
+				}
+				h = (h + 1) & dt.slotMask
 			}
-			if dt.keys[s-1].Equal(dt.keys[i]) {
-				break // duplicate key: the first inserted entry stays reachable
-			}
-			h = (h + 1) & dt.slotMask
 		}
 	}
 	return dt, nil
 }
 
+// buildDirect installs the dense direct index when every key is
+// integer-class and the key range is tight enough.
+func (dt *dimTable) buildDirect() {
+	n := len(dt.keys)
+	if n == 0 {
+		return
+	}
+	lo, hi := int64(0), int64(0)
+	for i, k := range dt.keys {
+		switch k.K {
+		case types.KindInt, types.KindDate, types.KindBool:
+		default:
+			return
+		}
+		if i == 0 || k.I < lo {
+			lo = k.I
+		}
+		if i == 0 || k.I > hi {
+			hi = k.I
+		}
+	}
+	// Unsigned difference is overflow-safe for any int64 pair; the span
+	// bound keeps the index allocation proportional to the entry count.
+	span := uint64(hi) - uint64(lo)
+	if span >= uint64(directSpanFactor)*uint64(n) {
+		return
+	}
+	dt.direct = make([]int32, span+1)
+	dt.directMin, dt.directMax = lo, hi
+	for i, k := range dt.keys {
+		if dt.direct[k.I-lo] == 0 {
+			dt.direct[k.I-lo] = int32(i + 1) // duplicates: first entry wins
+		}
+	}
+}
+
+// lookupDirect probes the dense index for an integer-class key.
+func (dt *dimTable) lookupDirect(k int64) int {
+	if k < dt.directMin || k > dt.directMax {
+		return -1
+	}
+	return int(dt.direct[k-dt.directMin]) - 1
+}
+
+// entryHash is the slot hash of entry i: the dictionary code's multiply-shift
+// hash on dictionary tables, the key datum's HashKey otherwise.
+func (dt *dimTable) entryHash(i int) uint64 {
+	if dt.strDict != nil {
+		return types.NewInt(int64(dt.codes[i])).HashKey()
+	}
+	return dt.keys[i].HashKey()
+}
+
+// entryEqual reports key equality of two entries (code compare on
+// dictionary tables).
+func (dt *dimTable) entryEqual(i, j int) bool {
+	if dt.strDict != nil {
+		return dt.codes[i] == dt.codes[j]
+	}
+	return dt.keys[i].Equal(dt.keys[j])
+}
+
 // lookup returns the entry index joining key k, or -1. Integer keys — the
-// star-schema common case — compare without the generic Datum path.
+// star-schema common case — compare without the generic Datum path; string
+// keys on dictionary tables resolve to a code once and compare as ints.
 func (dt *dimTable) lookup(k types.Datum) int {
+	if dt.strDict != nil {
+		// Every dim key is a string: a non-string fact key can never
+		// compare equal (Compare orders kinds by class).
+		if k.K != types.KindString {
+			return -1
+		}
+		code, ok := dt.strDict[k.S]
+		if !ok {
+			return -1
+		}
+		return dt.lookupCode(code)
+	}
+	if dt.direct != nil {
+		// Every dim key is integer-class; Compare's numeric promotion means
+		// only numeric fact keys can match, integral floats included.
+		switch k.K {
+		case types.KindInt, types.KindDate, types.KindBool:
+			return dt.lookupDirect(k.I)
+		case types.KindFloat:
+			if f := k.F; f == math.Trunc(f) &&
+				f >= float64(dt.directMin) && f <= float64(dt.directMax) {
+				return dt.lookupDirect(int64(f))
+			}
+			return -1
+		default:
+			return -1
+		}
+	}
 	h := uint32(k.HashKey()) & dt.slotMask
 	for {
 		s := dt.slots[h]
@@ -804,6 +980,53 @@ func (dt *dimTable) lookup(k types.Datum) int {
 			eq = ek.I == k.I
 		} else {
 			eq = ek.Equal(k)
+		}
+		if eq {
+			return int(s - 1)
+		}
+		h = (h + 1) & dt.slotMask
+	}
+}
+
+// lookupCode probes the slots of a dictionary table for a resolved code.
+func (dt *dimTable) lookupCode(code int32) int {
+	h := uint32(types.NewInt(int64(code)).HashKey()) & dt.slotMask
+	for {
+		s := dt.slots[h]
+		if s == 0 {
+			return -1
+		}
+		if dt.codes[s-1] == code {
+			return int(s - 1)
+		}
+		h = (h + 1) & dt.slotMask
+	}
+}
+
+// lookupInt returns the entry index joining an integer-class key (int, date
+// or bool payload), or -1 — the batch probe fast path: no Datum is built for
+// the fact side. Equality follows Datum.Compare's numeric semantics: int-
+// class entries compare by payload, float entries by promotion.
+func (dt *dimTable) lookupInt(k int64) int {
+	if dt.direct != nil {
+		return dt.lookupDirect(k)
+	}
+	if dt.strDict != nil {
+		return -1 // all dim keys are strings; numeric keys never match
+	}
+	h := uint32(types.NewInt(k).HashKey()) & dt.slotMask
+	for {
+		s := dt.slots[h]
+		if s == 0 {
+			return -1
+		}
+		ek := dt.keys[s-1]
+		var eq bool
+		switch ek.K {
+		case types.KindInt, types.KindDate, types.KindBool:
+			eq = ek.I == k
+		case types.KindFloat:
+			eq = ek.F == float64(k)
 		}
 		if eq {
 			return int(s - 1)
@@ -891,21 +1114,30 @@ func (ds *dimState) finishQuery(sub *subscription) {
 // processTuples probes every live tuple of it against the shared dimension
 // table, folds the matching entry bitmap (or the stage mask, on a miss)
 // into the tuple's inline bitmap, and compacts the item's arenas in place
-// as tuples die. This is the steady-state probe hot path: zero allocations
-// per tuple.
+// as tuples die. The join-key column is read straight from the page's
+// column batch: integer-class key columns (the star-schema common case)
+// probe from the raw []int64 payload without building a Datum per tuple.
+// This is the steady-state probe hot path: zero allocations per tuple.
 func (ds *dimState) processTuples(it *item) {
 	stride, nd := it.stride, it.ndims
 	dt := ds.tab
 	es := ds.estride
+	kc := it.cols.Col(dt.spec.FactKeyCol)
+	fastInt := kc.AllInt()
+	ki := kc.I
 	var probes, misses, dropped int64
 	n := 0
 	for i := 0; i < it.n; i++ {
 		tw := it.words[i*stride : (i+1)*stride]
-		k := it.facts[i][dt.spec.FactKeyCol]
+		r := int(it.rowIdx[i])
 		probes++
-		ei := -1
-		if !k.IsNull() {
+		var ei int
+		if fastInt {
+			ei = dt.lookupInt(ki[r])
+		} else if k := kc.Datum(r); !k.IsNull() {
 			ei = dt.lookup(k)
+		} else {
+			ei = -1
 		}
 		if ei >= 0 {
 			bitvec.AndMaskedWords(tw, ds.ebits[ei*es:(ei+1)*es], ds.mask)
@@ -918,7 +1150,7 @@ func (ds *dimState) processTuples(it *item) {
 			continue
 		}
 		if n != i {
-			it.facts[n] = it.facts[i]
+			it.rowIdx[n] = it.rowIdx[i]
 			copy(it.dims[n*nd:(n+1)*nd], it.dims[i*nd:(i+1)*nd])
 			copy(it.words[n*stride:(n+1)*stride], tw)
 		}
@@ -951,6 +1183,9 @@ type worker struct {
 	dims   []dimState
 	active []*subscription // replica of the scanner's active list
 	nslots int             // high-water bitmap slot count among admitted queries
+
+	scratch vec.Scratch // vectorized-predicate temporaries, worker-owned
+	selBuf  []int32     // per-query selection buffer, sized to the page
 }
 
 // admit applies one admission to the worker's replicas.
@@ -1000,8 +1235,7 @@ func (w *worker) run() {
 			continue
 		}
 		it := msg.it
-		w.op.annotate(it, it.rows, w.active, w.nslots, len(w.dims))
-		it.rows = nil
+		w.annotate(it, w.active, w.nslots)
 		for i := range w.dims {
 			w.dims[i].processTuples(it)
 		}
@@ -1099,11 +1333,11 @@ func (d *distributor) route(sub *subscription, it *item, ti int) {
 	}
 	a := sub.arena
 	base := len(a)
-	fact := it.facts[ti]
+	r := int(it.rowIdx[ti])
 	dimBase := ti * it.ndims
 	for _, rc := range sub.route {
 		if rc.dim < 0 {
-			a = append(a, fact[rc.col])
+			a = append(a, it.cols.Col(rc.col).Datum(r))
 		} else {
 			a = append(a, it.dims[dimBase+rc.dim][rc.col])
 		}

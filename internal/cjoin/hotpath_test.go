@@ -134,19 +134,26 @@ func TestOpenAddressingMatchesChainedMap(t *testing.T) {
 	}
 }
 
+// bareWorker builds a worker shell sufficient for driving annotate without
+// starting the pipeline (its dim states stay zero-valued; annotate only
+// reads their count).
+func bareWorker(op *Operator) *worker {
+	return &worker{op: op, dims: make([]dimState, len(op.specs))}
+}
+
 // annotatedItem builds a warmed item holding one annotated fact page.
-func annotatedItem(t testing.TB, op *Operator, subs []*subscription) (*item, []types.Row) {
+func annotatedItem(t testing.TB, op *Operator, w *worker, subs []*subscription) *item {
 	t.Helper()
-	rows, err := op.fact.File.Page(0)
+	cb, err := op.fact.File.PageCols(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	it := &item{}
-	op.annotate(it, rows, subs, len(subs), len(op.specs))
+	it := &item{cols: cb}
+	w.annotate(it, subs, len(subs))
 	if it.n == 0 {
 		t.Fatal("annotate kept no tuples")
 	}
-	return it, rows
+	return it
 }
 
 func testSubs(t testing.TB, op *Operator, cat *storage.Catalog) []*subscription {
@@ -172,11 +179,12 @@ func testSubs(t testing.TB, op *Operator, cat *storage.Catalog) []*subscription 
 func TestAnnotateZeroAllocs(t *testing.T) {
 	cat := starDB(t, 4000)
 	op := bareOp(t, cat)
+	w := bareWorker(op)
 	subs := testSubs(t, op, cat)
-	it, rows := annotatedItem(t, op, subs) // warm-up
+	it := annotatedItem(t, op, w, subs) // warm-up
 
 	allocs := testing.AllocsPerRun(100, func() {
-		op.annotate(it, rows, subs, len(subs), len(op.specs))
+		w.annotate(it, subs, len(subs))
 	})
 	if allocs != 0 {
 		t.Errorf("annotate allocates %v objects per page in steady state, want 0", allocs)
@@ -188,17 +196,18 @@ func TestAnnotateZeroAllocs(t *testing.T) {
 func TestProbePathZeroAllocs(t *testing.T) {
 	cat := starDB(t, 4000)
 	op := bareOp(t, cat)
+	w := bareWorker(op)
 	subs := testSubs(t, op, cat)
-	master, _ := annotatedItem(t, op, subs)
+	master := annotatedItem(t, op, w, subs)
 
 	st := newDimStateFor(t, 0, op.specs[0], op)
 	for _, sub := range subs {
 		st.admitQuery(sub)
 	}
-	work := &item{}
+	work := &item{cols: master.cols}
 	reload := func() {
 		work.ensure(master.n, master.stride, master.ndims)
-		copy(work.facts, master.facts[:master.n])
+		copy(work.rowIdx, master.rowIdx[:master.n])
 		copy(work.words, master.words[:master.n*master.stride])
 		work.n = master.n
 	}
@@ -247,19 +256,20 @@ func TestCompiledPredsMatchInterpretedInPipeline(t *testing.T) {
 func BenchmarkCJoinProbe(b *testing.B) {
 	cat := starDB(b, 4000)
 	op := bareOp(b, cat)
+	w := bareWorker(op)
 	subs := testSubs(b, op, cat)
-	master, _ := annotatedItem(b, op, subs)
+	master := annotatedItem(b, op, w, subs)
 
 	st := newDimStateFor(b, 0, op.specs[0], op)
 	for _, sub := range subs {
 		st.admitQuery(sub)
 	}
-	work := &item{}
+	work := &item{cols: master.cols}
 	work.ensure(master.n, master.stride, master.ndims)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		copy(work.facts[:master.n], master.facts)
+		copy(work.rowIdx[:master.n], master.rowIdx)
 		copy(work.words[:master.n*master.stride], master.words)
 		work.n = master.n
 		st.processTuples(work)
@@ -268,18 +278,19 @@ func BenchmarkCJoinProbe(b *testing.B) {
 }
 
 // BenchmarkPreprocessAnnotate measures the preprocessor's per-page work:
-// evaluating every active query's compiled fact predicate against every
-// tuple and writing the inline bitmaps.
+// evaluating every active query's vectorized fact predicate against the
+// page's column batch and writing the inline bitmaps.
 func BenchmarkPreprocessAnnotate(b *testing.B) {
 	cat := starDB(b, 4000)
 	op := bareOp(b, cat)
+	w := bareWorker(op)
 	subs := testSubs(b, op, cat)
-	it, rows := annotatedItem(b, op, subs)
+	it := annotatedItem(b, op, w, subs)
 
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		op.annotate(it, rows, subs, len(subs), len(op.specs))
+		w.annotate(it, subs, len(subs))
 	}
-	b.ReportMetric(float64(len(rows)), "tuples/op")
+	b.ReportMetric(float64(it.cols.Len()), "tuples/op")
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // hashSeed seeds join/group hash chains (FNV-1a offset basis).
@@ -43,20 +44,24 @@ func (e *Engine) runOperator(ctx context.Context, p *Packet, inputs []Reader, w 
 
 // opScan delivers every row of the table via a circular shared scan, one
 // batch per storage page, applying any pushed-down predicate inside the
-// stage (as QPipe's tscan does).
+// stage (as QPipe's tscan does). Predicates are evaluated vectorized over
+// the page's columnar cache into a selection vector; the surviving rows are
+// picked from the shared row view and the columnar view rides along on the
+// batch for a downstream operator to claim.
 func (e *Engine) opScan(ctx context.Context, n *plan.Scan, w Writer, st *Stage) error {
 	cur := n.Table.Attach()
 	defer cur.Close()
-	var pred func(types.Row) bool
+	var vpred expr.VecPred
+	var scr vec.Scratch
 	if n.Pred != nil {
-		pred = expr.Compile(n.Pred)
+		vpred = expr.CompileVec(n.Pred)
 	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		t0 := time.Now()
-		rows, ok, err := cur.NextRows()
+		cb, rows, ok, err := cur.NextView()
 		if err != nil {
 			st.addBusy(time.Since(t0))
 			return err
@@ -65,23 +70,26 @@ func (e *Engine) opScan(ctx context.Context, n *plan.Scan, w Writer, st *Stage) 
 			st.addBusy(time.Since(t0))
 			return nil
 		}
-		if pred != nil {
-			// The page slice is the pool's shared decoded-row cache: filter
-			// into a fresh slice (the batch is handed downstream and may be
-			// retained, so a reused scratch would alias live batches).
-			var kept []types.Row
-			for _, r := range rows {
-				if pred(r) {
-					kept = append(kept, r)
-				}
+		var sel []int32
+		if vpred != nil {
+			// The selection buffer is handed downstream on the batch, so it
+			// is allocated per page rather than reused (a reused scratch
+			// would alias live batches).
+			sel = vpred(cb, cb.AllSel(), make([]int32, cb.Len()), &scr)
+			kept := make([]types.Row, len(sel))
+			for i, r := range sel {
+				kept[i] = rows[r]
 			}
 			rows = kept
 		}
 		st.addBusy(time.Since(t0))
 		if len(rows) == 0 {
+			cb.Release()
 			continue
 		}
-		if err := w.Put(ctx, &batch.Batch{Rows: rows}); err != nil {
+		b := &batch.Batch{Rows: rows}
+		b.SetCols(cb, sel)
+		if err := w.Put(ctx, b); err != nil {
 			return err
 		}
 	}
@@ -100,6 +108,7 @@ func (e *Engine) opLimit(ctx context.Context, n *plan.Limit, in Reader, w Writer
 			return err
 		}
 		t0 := time.Now()
+		b.ReleaseCols()
 		if b.Len() > remaining {
 			b = &batch.Batch{Rows: b.Rows[:remaining]}
 		}
@@ -142,9 +151,15 @@ func (em *emitter) flush(ctx context.Context) error {
 }
 
 // opFilter keeps rows satisfying the predicate, compiled once per packet.
+// Batches carrying a columnar view are filtered vectorized: the predicate
+// runs over the batch's selection into a fresh selection, which is then
+// mapped back to the batch's rows.
 func (e *Engine) opFilter(ctx context.Context, n *plan.Filter, in Reader, w Writer, st *Stage) error {
 	em := newEmitter(w, e.cfg.BatchSize)
 	pred := expr.Compile(n.Pred)
+	vpred := expr.CompileVec(n.Pred)
+	var scr vec.Scratch
+	var selBuf []int32
 	var kept []types.Row
 	for {
 		b, err := in.Next(ctx)
@@ -156,9 +171,29 @@ func (e *Engine) opFilter(ctx context.Context, n *plan.Filter, in Reader, w Writ
 		}
 		t0 := time.Now()
 		kept = kept[:0]
-		for _, r := range b.Rows {
-			if pred(r) {
-				kept = append(kept, r)
+		if cb, sel := b.TakeCols(); cb != nil {
+			if sel == nil {
+				sel = cb.AllSel()
+			}
+			if cap(selBuf) < len(sel) {
+				selBuf = make([]int32, len(sel))
+			}
+			res := vpred(cb, sel, selBuf[:len(sel)], &scr)
+			// Rows[i] is row sel[i] of cb and res is an ascending subset of
+			// sel, so a single forward walk recovers the surviving rows.
+			j := 0
+			for _, r := range res {
+				for sel[j] != r {
+					j++
+				}
+				kept = append(kept, b.Rows[j])
+			}
+			cb.Release()
+		} else {
+			for _, r := range b.Rows {
+				if pred(r) {
+					kept = append(kept, r)
+				}
 			}
 		}
 		st.addBusy(time.Since(t0))
@@ -182,6 +217,7 @@ func (e *Engine) opProject(ctx context.Context, n *plan.Project, in Reader, w Wr
 			return err
 		}
 		t0 := time.Now()
+		b.ReleaseCols()
 		outRows := make([]types.Row, len(b.Rows))
 		for i, r := range b.Rows {
 			out := make(types.Row, len(n.Cols))
@@ -213,6 +249,7 @@ func (e *Engine) opHashJoin(ctx context.Context, n *plan.HashJoin, left, right R
 			return err
 		}
 		t0 := time.Now()
+		b.ReleaseCols()
 		for _, r := range b.Rows {
 			k := r[n.RightCol]
 			if k.IsNull() {
@@ -234,6 +271,7 @@ func (e *Engine) opHashJoin(ctx context.Context, n *plan.HashJoin, left, right R
 			return err
 		}
 		t0 := time.Now()
+		b.ReleaseCols()
 		var joined []types.Row
 		for _, l := range b.Rows {
 			k := l[n.LeftCol]
@@ -269,7 +307,12 @@ func (a *aggAcc) update(spec plan.AggSpec, r types.Row) {
 		a.count++
 		return
 	}
-	v := spec.Arg.Eval(r)
+	a.updateDatum(spec, spec.Arg.Eval(r))
+}
+
+// updateDatum folds one evaluated argument into the accumulator (the
+// post-Eval half of update, shared with the columnar path).
+func (a *aggAcc) updateDatum(spec plan.AggSpec, v types.Datum) {
 	if v.IsNull() {
 		return
 	}
@@ -287,6 +330,36 @@ func (a *aggAcc) update(spec plan.AggSpec, r types.Row) {
 		}
 	}
 	a.seen = true
+}
+
+// updateCol folds a whole column selection into the accumulator: one batch-
+// sized update per aggregate instead of one interface call per row. Sum and
+// avg over homogeneous numeric columns run as tight typed loops; everything
+// else folds per-row datums through updateDatum (identical semantics, no
+// expression dispatch).
+func (a *aggAcc) updateCol(spec plan.AggSpec, v *vec.Vec, sel []int32) {
+	switch {
+	case (spec.Func == plan.AggSum || spec.Func == plan.AggAvg) && v.AllInt():
+		s := 0.0
+		for _, r := range sel {
+			s += float64(v.I[r])
+		}
+		a.sum += s
+		a.count += int64(len(sel))
+		a.seen = a.seen || len(sel) > 0
+	case (spec.Func == plan.AggSum || spec.Func == plan.AggAvg) && v.AllFloat():
+		s := 0.0
+		for _, r := range sel {
+			s += v.F[r]
+		}
+		a.sum += s
+		a.count += int64(len(sel))
+		a.seen = a.seen || len(sel) > 0
+	default:
+		for _, r := range sel {
+			a.updateDatum(spec, v.Datum(int(r)))
+		}
+	}
 }
 
 func (a *aggAcc) result(spec plan.AggSpec) types.Datum {
@@ -322,11 +395,58 @@ type aggGroup struct {
 	accs []aggAcc
 }
 
+// findOrAddGroup resolves key (pre-hashed to h) in the group table, creating
+// the group — with a cloned key — on first sight.
+func findOrAddGroup(groups map[uint64][]*aggGroup, h uint64, key types.Row, naggs int, ngroups *int) *aggGroup {
+	for _, cand := range groups[h] {
+		if cand.key.Equal(key) {
+			return cand
+		}
+	}
+	grp := &aggGroup{key: key.Clone(), accs: make([]aggAcc, naggs)}
+	groups[h] = append(groups[h], grp)
+	*ngroups++
+	return grp
+}
+
 // opAggregate is a hash group-by. Output group order is unspecified; plans
-// that need an order add a Sort node above.
+// that need an order add a Sort node above. Global aggregates (no group-by)
+// whose arguments are plain column references consume the columnar view of
+// incoming batches: one typed-loop update per (aggregate, batch) instead of
+// per-row expression dispatch.
 func (e *Engine) opAggregate(ctx context.Context, n *plan.Aggregate, in Reader, w Writer, st *Stage) error {
 	groups := make(map[uint64][]*aggGroup)
 	ngroups := 0
+	// Column indexes of the aggregate arguments and group-by keys, when
+	// every one is a plain column reference (or COUNT(*)). With both, the
+	// per-row path skips expression dispatch entirely: keys and arguments
+	// are direct row indexing, and the group hash is the multiply-shift
+	// HashKey fold instead of the byte-wise FNV walk. Global aggregates
+	// (no group-by) additionally consume incoming columnar views whole.
+	argCols := make([]int, len(n.Aggs))
+	argsAreCols := true
+	for i, spec := range n.Aggs {
+		switch arg := spec.Arg.(type) {
+		case nil:
+			argCols[i] = -1
+		case expr.Col:
+			argCols[i] = arg.Idx
+		default:
+			argsAreCols = false
+		}
+	}
+	groupIdx := make([]int, 0, len(n.GroupBy))
+	groupsAreCols := true
+	for _, g := range n.GroupBy {
+		if c, ok := g.Expr.(expr.Col); ok {
+			groupIdx = append(groupIdx, c.Idx)
+		} else {
+			groupsAreCols = false
+		}
+	}
+	fastRows := argsAreCols && groupsAreCols
+	colArgs := argsAreCols && len(n.GroupBy) == 0
+	var global *aggGroup // the single group of a vectorized global aggregate
 	// One scratch key reused across rows; it is cloned only when a new group
 	// materializes, so grouping allocates per group, not per row.
 	key := make(types.Row, len(n.GroupBy))
@@ -338,26 +458,60 @@ func (e *Engine) opAggregate(ctx context.Context, n *plan.Aggregate, in Reader, 
 		if err != nil {
 			return err
 		}
-		t0 := time.Now()
-		for _, r := range b.Rows {
-			for i, g := range n.GroupBy {
-				key[i] = g.Expr.Eval(r)
+		if colArgs {
+			if cb, sel := b.TakeCols(); cb != nil {
+				t0 := time.Now()
+				if sel == nil {
+					sel = cb.AllSel()
+				}
+				if global == nil {
+					// Resolve through the same bucket and equality the row
+					// path uses for the empty group key, so mixed batches
+					// (with and without a columnar view — SPL sharing makes
+					// TakeCols first-wins per batch) accumulate into one
+					// group rather than emitting two partial result rows.
+					global = findOrAddGroup(groups, types.Row(nil).Hash(hashSeed), nil, len(n.Aggs), &ngroups)
+				}
+				for i, spec := range n.Aggs {
+					if argCols[i] < 0 {
+						global.accs[i].count += int64(len(sel))
+						continue
+					}
+					global.accs[i].updateCol(spec, cb.Col(argCols[i]), sel)
+				}
+				cb.Release()
+				st.addBusy(time.Since(t0))
+				continue
 			}
-			h := key.Hash(hashSeed)
-			var grp *aggGroup
-			for _, cand := range groups[h] {
-				if cand.key.Equal(key) {
-					grp = cand
-					break
+		} else {
+			b.ReleaseCols()
+		}
+		t0 := time.Now()
+		if fastRows {
+			for _, r := range b.Rows {
+				h := hashSeed
+				for i, gi := range groupIdx {
+					key[i] = r[gi]
+					h = (h ^ key[i].HashKey()) * 1099511628211
+				}
+				grp := findOrAddGroup(groups, h, key, len(n.Aggs), &ngroups)
+				for i := range n.Aggs {
+					if argCols[i] < 0 {
+						grp.accs[i].count++
+					} else {
+						grp.accs[i].updateDatum(n.Aggs[i], r[argCols[i]])
+					}
 				}
 			}
-			if grp == nil {
-				grp = &aggGroup{key: key.Clone(), accs: make([]aggAcc, len(n.Aggs))}
-				groups[h] = append(groups[h], grp)
-				ngroups++
-			}
-			for i := range n.Aggs {
-				grp.accs[i].update(n.Aggs[i], r)
+		} else {
+			for _, r := range b.Rows {
+				for i, g := range n.GroupBy {
+					key[i] = g.Expr.Eval(r)
+				}
+				grp := findOrAddGroup(groups, key.Hash(hashSeed), key, len(n.Aggs), &ngroups)
+				for i := range n.Aggs {
+					grp.accs[i].update(n.Aggs[i], r)
+				}
 			}
 		}
 		st.addBusy(time.Since(t0))
@@ -394,6 +548,7 @@ func (e *Engine) opSort(ctx context.Context, n *plan.Sort, in Reader, w Writer, 
 		if err != nil {
 			return err
 		}
+		b.ReleaseCols()
 		rows = append(rows, b.Rows...)
 	}
 	t0 := time.Now()

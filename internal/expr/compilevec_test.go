@@ -1,0 +1,120 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// testBatch builds a homogeneous SSB-shaped batch: int, date, string and
+// float columns — the shapes the typed kernels specialize for.
+func testBatch(n int) (*vec.ColBatch, []types.Row) {
+	r := rand.New(rand.NewSource(5))
+	b := vec.Get(4)
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		row := types.Row{
+			types.NewInt(r.Int63n(50)),
+			types.NewDate(8000 + r.Int63n(2500)),
+			types.NewString(fmt.Sprintf("REG%d", r.Intn(5))),
+			types.NewFloat(r.Float64() * 100),
+		}
+		rows[i] = row
+		b.AppendRow(row)
+	}
+	b.Seal(n)
+	return b, rows
+}
+
+// ssbPreds are the predicate shapes that dominate the workload templates.
+func ssbPreds() []Expr {
+	return []Expr{
+		NewBetween(C(0, "qty"), Int(10), Int(25)),
+		NewCmp(LT, C(1, "date"), Const{D: types.NewDate(9000)}),
+		NewCmp(EQ, C(2, "region"), Str("REG2")),
+		NewIn(C(0, "qty"), types.NewInt(3), types.NewInt(7), types.NewInt(11)),
+		NewIn(C(2, "region"), types.NewString("REG0"), types.NewString("REG4")),
+		NewAnd(
+			NewBetween(C(0, "qty"), Int(5), Int(40)),
+			NewCmp(GE, C(3, "price"), Float(25)),
+		),
+		NewOr(
+			NewCmp(EQ, C(2, "region"), Str("REG1")),
+			NewBetween(C(1, "date"), Const{D: types.NewDate(8100)}, Const{D: types.NewDate(8200)}),
+		),
+		Not{E: NewCmp(NE, C(0, "qty"), Int(17))},
+		NewCmp(LE, C(0, "qty"), C(1, "date")),
+	}
+}
+
+// TestCompileVecMatchesCompile checks every SSB-shaped kernel against the
+// scalar closure row by row.
+func TestCompileVecMatchesCompile(t *testing.T) {
+	b, rows := testBatch(512)
+	defer b.Release()
+	var scr vec.Scratch
+	out := make([]int32, b.Len())
+	for _, e := range ssbPreds() {
+		scalar := Compile(e)
+		sel := CompileVec(e)(b, b.AllSel(), out, &scr)
+		j := 0
+		for i, row := range rows {
+			inSel := j < len(sel) && sel[j] == int32(i)
+			if inSel {
+				j++
+			}
+			if want := scalar(row); inSel != want {
+				t.Errorf("%s: row %d: vectorized=%v scalar=%v", e.Signature(), i, inSel, want)
+			}
+		}
+	}
+}
+
+// TestVecKernelsZeroAlloc locks in the steady-state allocation profile of
+// the vectorized kernels: evaluating any of the SSB predicate shapes over a
+// warm batch and scratch allocates nothing.
+func TestVecKernelsZeroAlloc(t *testing.T) {
+	b, _ := testBatch(512)
+	defer b.Release()
+	var scr vec.Scratch
+	out := make([]int32, b.Len())
+	for _, e := range ssbPreds() {
+		vp := CompileVec(e)
+		vp(b, b.AllSel(), out, &scr) // warm-up
+		allocs := testing.AllocsPerRun(50, func() {
+			vp(b, b.AllSel(), out, &scr)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: vectorized evaluation allocates %v objects per batch, want 0", e.Signature(), allocs)
+		}
+	}
+}
+
+// BenchmarkCompileVecBetween measures the hottest kernel (int BETWEEN) per
+// 512-row batch against the scalar closure.
+func BenchmarkCompileVecBetween(b *testing.B) {
+	cb, rows := testBatch(512)
+	defer cb.Release()
+	e := NewBetween(C(0, "qty"), Int(10), Int(25))
+	b.Run("vectorized", func(b *testing.B) {
+		vp := CompileVec(e)
+		var scr vec.Scratch
+		out := make([]int32, cb.Len())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vp(cb, cb.AllSel(), out, &scr)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		p := Compile(e)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range rows {
+				_ = p(r)
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // exprGen deterministically derives a predicate tree from a byte program:
@@ -108,11 +109,14 @@ func (g *exprGen) row(width int) types.Row {
 	return row
 }
 
-// FuzzCompileEval checks Compile's single contract — the compiled closure is
-// exactly equivalent to the interpreted Eval(row).Bool() — on random
-// predicate trees over random rows, covering the hand-specialized fast paths
-// (Cmp col/const both ways, Between, In with int and string sets) and the
-// interpreted fallbacks alike.
+// FuzzCompileEval checks the compilation contracts — the compiled closure
+// and the vectorized kernel are exactly equivalent to the interpreted
+// Eval(row).Bool() — on random predicate trees over random rows, covering
+// the hand-specialized fast paths (Cmp col/const both ways, Between, In
+// with int and string sets, the homogeneous-column typed loops) and the
+// interpreted fallbacks alike. The vectorized check builds a small batch
+// around the row (mixing kinds so columns are rarely homogeneous) and
+// compares the selection vector against per-row Eval.
 func FuzzCompileEval(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
 	f.Add([]byte{6, 0, 3, 200, 17, 5, 2, 9, 42, 42, 42, 0, 0, 0, 0, 1})
@@ -128,6 +132,39 @@ func FuzzCompileEval(f *testing.F) {
 		if got != want {
 			t.Fatalf("Compile disagrees with Eval:\n expr: %s\n row:  %s\n compiled=%v interpreted=%v",
 				e.Signature(), row, got, want)
+		}
+
+		// Vectorized equivalence over a batch of derived rows (the first is
+		// the scalar row above, so every counterexample the fuzzer finds for
+		// Compile is also presented to CompileVec).
+		const nrows = 5
+		rows := make([]types.Row, 0, nrows)
+		rows = append(rows, row)
+		for i := 1; i < nrows; i++ {
+			rows = append(rows, g.row(width))
+		}
+		b := vec.Get(width)
+		defer b.Release()
+		for _, r := range rows {
+			b.AppendRow(r)
+		}
+		b.Seal(len(rows))
+		var scr vec.Scratch
+		out := make([]int32, len(rows))
+		sel := CompileVec(e)(b, b.AllSel(), out, &scr)
+		j := 0
+		for i, r := range rows {
+			inSel := j < len(sel) && sel[j] == int32(i)
+			if inSel {
+				j++
+			}
+			if evalWant := e.Eval(r).Bool(); inSel != evalWant {
+				t.Fatalf("CompileVec disagrees with Eval:\n expr: %s\n row %d: %s\n vectorized=%v interpreted=%v\n sel: %v",
+					e.Signature(), i, r, inSel, evalWant, sel)
+			}
+		}
+		if j != len(sel) {
+			t.Fatalf("CompileVec produced out-of-range or unordered selection %v", sel)
 		}
 	})
 }

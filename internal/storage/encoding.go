@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // PageSize is the size of every on-disk page in bytes.
@@ -48,47 +49,53 @@ func EncodeRow(buf []byte, r types.Row) []byte {
 	return buf
 }
 
+// decodeDatum decodes one datum from data, returning it and the remaining
+// bytes.
+func decodeDatum(data []byte, col int) (types.Datum, []byte, error) {
+	if len(data) == 0 {
+		return types.Null, nil, fmt.Errorf("storage: truncated row at column %d", col)
+	}
+	k := types.Kind(data[0])
+	data = data[1:]
+	switch k {
+	case types.KindNull:
+		return types.Null, data, nil
+	case types.KindInt, types.KindDate:
+		v, n := binary.Varint(data)
+		if n <= 0 {
+			return types.Null, nil, fmt.Errorf("storage: bad varint at column %d", col)
+		}
+		return types.Datum{K: k, I: v}, data[n:], nil
+	case types.KindBool:
+		if len(data) < 1 {
+			return types.Null, nil, fmt.Errorf("storage: truncated bool at column %d", col)
+		}
+		return types.NewBool(data[0] != 0), data[1:], nil
+	case types.KindFloat:
+		if len(data) < 8 {
+			return types.Null, nil, fmt.Errorf("storage: truncated float at column %d", col)
+		}
+		return types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(data))), data[8:], nil
+	case types.KindString:
+		l, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data)-n) < l {
+			return types.Null, nil, fmt.Errorf("storage: truncated string at column %d", col)
+		}
+		return types.NewString(string(data[n : n+int(l)])), data[n+int(l):], nil
+	default:
+		return types.Null, nil, fmt.Errorf("storage: unknown kind tag %d at column %d", k, col)
+	}
+}
+
 // DecodeRow decodes one row of ncols columns from data, returning the row and
 // the remaining bytes.
 func DecodeRow(data []byte, ncols int) (types.Row, []byte, error) {
 	r := make(types.Row, ncols)
 	for i := 0; i < ncols; i++ {
-		if len(data) == 0 {
-			return nil, nil, fmt.Errorf("storage: truncated row at column %d", i)
-		}
-		k := types.Kind(data[0])
-		data = data[1:]
-		switch k {
-		case types.KindNull:
-			r[i] = types.Null
-		case types.KindInt, types.KindDate:
-			v, n := binary.Varint(data)
-			if n <= 0 {
-				return nil, nil, fmt.Errorf("storage: bad varint at column %d", i)
-			}
-			data = data[n:]
-			r[i] = types.Datum{K: k, I: v}
-		case types.KindBool:
-			if len(data) < 1 {
-				return nil, nil, fmt.Errorf("storage: truncated bool at column %d", i)
-			}
-			r[i] = types.NewBool(data[0] != 0)
-			data = data[1:]
-		case types.KindFloat:
-			if len(data) < 8 {
-				return nil, nil, fmt.Errorf("storage: truncated float at column %d", i)
-			}
-			r[i] = types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(data)))
-			data = data[8:]
-		case types.KindString:
-			l, n := binary.Uvarint(data)
-			if n <= 0 || uint64(len(data)-n) < l {
-				return nil, nil, fmt.Errorf("storage: truncated string at column %d", i)
-			}
-			r[i] = types.NewString(string(data[n : n+int(l)]))
-			data = data[n+int(l):]
-		default:
-			return nil, nil, fmt.Errorf("storage: unknown kind tag %d at column %d", k, i)
+		var err error
+		r[i], data, err = decodeDatum(data, i)
+		if err != nil {
+			return nil, nil, err
 		}
 	}
 	return r, data, nil
@@ -148,4 +155,31 @@ func DecodePage(page []byte, ncols int) ([]types.Row, error) {
 		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+// DecodePageCols decodes every row of a page column-wise into a pooled
+// ColBatch of ncols columns, with one reference held by the caller. The
+// page encoding is row-major; the decoder transposes it into the typed
+// column vectors so the batch can be cached per pool residency and shared
+// by every vectorized consumer.
+func DecodePageCols(page []byte, ncols int) (*vec.ColBatch, error) {
+	if len(page) < pageHeaderSize {
+		return nil, fmt.Errorf("storage: short page (%d bytes)", len(page))
+	}
+	n := int(binary.LittleEndian.Uint16(page[0:2]))
+	data := page[pageHeaderSize:]
+	b := vec.Get(ncols)
+	for i := 0; i < n; i++ {
+		for c := 0; c < ncols; c++ {
+			d, rest, err := decodeDatum(data, c)
+			if err != nil {
+				b.Release()
+				return nil, fmt.Errorf("storage: page row %d: %w", i, err)
+			}
+			b.Col(c).AppendDatum(d)
+			data = rest
+		}
+	}
+	b.Seal(n)
+	return b, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // HeapFile is a table stored as a sequence of pages on a Disk. Rows are
@@ -125,6 +126,30 @@ func (h *HeapFile) Page(idx int) ([]types.Row, error) {
 	}
 	defer h.pool.Unpin(fr)
 	return fr.DecodedRows(h.schema.Len())
+}
+
+// PageCols fetches page idx through the buffer pool and returns its
+// columnar batch, decoded once per pool residency and shared between
+// callers. The caller owns one reference on the batch and must Release it.
+func (h *HeapFile) PageCols(idx int) (*vec.ColBatch, error) {
+	fr, err := h.pool.Fetch(h.id, idx)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(fr)
+	return fr.DecodedCols(h.schema.Len())
+}
+
+// PageView fetches page idx and returns both cached views: the columnar
+// batch (caller owns one reference and must Release it) and the shared,
+// immutable row view materialized from it.
+func (h *HeapFile) PageView(idx int) (*vec.ColBatch, []types.Row, error) {
+	fr, err := h.pool.Fetch(h.id, idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer h.pool.Unpin(fr)
+	return fr.decodedView(h.schema.Len())
 }
 
 // AllRows reads the whole file (testing and bulk-build convenience; query

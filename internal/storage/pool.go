@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // ErrNoFreeFrames is returned when every frame in the pool is pinned and a
@@ -30,36 +31,85 @@ type Frame struct {
 	loading chan struct{} // non-nil while the page is being read from disk
 	loadErr error
 
-	// Decoded-row cache: rows are decoded at most once per page residency
-	// (circular scans re-read the same resident pages every sweep, so
-	// re-decoding dominated their allocation profile). Decoded rows do not
-	// alias the page bytes, so they remain valid — as immutable data — even
-	// after the frame is unpinned or recycled; eviction simply drops the
-	// cache reference.
-	decMu   sync.Mutex
-	rows    []types.Row
-	decoded bool
+	// Columnar decode cache: a page is decoded at most once per residency
+	// into a pooled ColBatch (circular scans re-read the same resident
+	// pages every sweep, so re-decoding dominated their allocation
+	// profile). The frame owns one reference; eviction drops it and the
+	// batch returns to the pool once the last reader releases its own. The
+	// row view is materialized lazily from the columnar cache — the datums
+	// it copies out do not alias the batch's recyclable arrays (string
+	// bytes are independent heap objects), so rows remain valid, as
+	// immutable data, after the frame is recycled.
+	decMu    sync.Mutex
+	cb       *vec.ColBatch
+	rows     []types.Row
+	decoded  bool
+	rowsDone bool
 }
 
 // Data returns the page bytes. Valid only while the frame is pinned.
 func (fr *Frame) Data() []byte { return fr.data }
 
-// DecodedRows returns the frame's page decoded into rows of ncols columns,
-// decoding on first use per residency. Must be called with the frame pinned.
-// The returned rows are shared and immutable; they may be retained after
-// Unpin.
+// decodeLocked populates the columnar cache on first use per residency.
+func (fr *Frame) decodeLocked(ncols int) error {
+	if fr.decoded {
+		return nil
+	}
+	cb, err := DecodePageCols(fr.data, ncols)
+	if err != nil {
+		return err
+	}
+	fr.cb = cb
+	fr.decoded = true
+	return nil
+}
+
+// DecodedCols returns the frame's page decoded into a columnar batch,
+// decoding on first use per residency. Must be called with the frame
+// pinned. The caller receives its own reference and must Release it; the
+// batch may be retained past Unpin.
+func (fr *Frame) DecodedCols(ncols int) (*vec.ColBatch, error) {
+	fr.decMu.Lock()
+	defer fr.decMu.Unlock()
+	if err := fr.decodeLocked(ncols); err != nil {
+		return nil, err
+	}
+	fr.cb.Retain()
+	return fr.cb, nil
+}
+
+// DecodedRows returns the frame's page as rows of ncols columns,
+// materialized once per residency from the columnar cache. Must be called
+// with the frame pinned. The returned rows are shared and immutable; they
+// may be retained after Unpin.
 func (fr *Frame) DecodedRows(ncols int) ([]types.Row, error) {
 	fr.decMu.Lock()
 	defer fr.decMu.Unlock()
-	if !fr.decoded {
-		rows, err := DecodePage(fr.data, ncols)
-		if err != nil {
-			return nil, err
-		}
-		fr.rows = rows
-		fr.decoded = true
+	if err := fr.decodeLocked(ncols); err != nil {
+		return nil, err
+	}
+	if !fr.rowsDone {
+		fr.rows = fr.cb.Rows()
+		fr.rowsDone = true
 	}
 	return fr.rows, nil
+}
+
+// decodedView returns both cached views of the page (the columnar batch
+// with a caller-owned reference, and the shared row view), decoding and
+// materializing at most once per residency.
+func (fr *Frame) decodedView(ncols int) (*vec.ColBatch, []types.Row, error) {
+	fr.decMu.Lock()
+	defer fr.decMu.Unlock()
+	if err := fr.decodeLocked(ncols); err != nil {
+		return nil, nil, err
+	}
+	if !fr.rowsDone {
+		fr.rows = fr.cb.Rows()
+		fr.rowsDone = true
+	}
+	fr.cb.Retain()
+	return fr.cb, fr.rows, nil
 }
 
 // PoolStats are cumulative buffer pool counters.
@@ -150,10 +200,17 @@ func (p *BufferPool) Fetch(f FileID, idx int) (*Frame, error) {
 	fr.pins = 1
 	fr.ref = true
 	fr.loadErr = nil
-	// The frame was unpinned when victimLocked picked it, so no DecodedRows
-	// call can be in flight; dropping the cache here is race-free.
+	// The frame was unpinned when victimLocked picked it, so no decode
+	// call can be in flight; dropping the caches here is race-free. The
+	// frame's reference on the columnar batch is released — readers that
+	// retained their own keep the batch alive until they release it.
+	if fr.cb != nil {
+		fr.cb.Release()
+		fr.cb = nil
+	}
 	fr.rows = nil
 	fr.decoded = false
+	fr.rowsDone = false
 	ch := make(chan struct{})
 	fr.loading = ch
 	p.table[key] = fr

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // ScanGroup coordinates circular shared scans over one heap file — the
@@ -112,20 +113,34 @@ func (c *ScanCursor) Next() (idx int, ok bool) {
 
 // NextRows fetches and decodes the next page, or ok=false at end of sweep.
 // With readahead enabled the cursor's following page is requested in the
-// background before this one is decoded.
+// background before this one is decoded. It is the row-only form of
+// NextView: the columnar reference is dropped immediately (both views come
+// from the same cached decode).
 func (c *ScanCursor) NextRows() (rows []types.Row, ok bool, err error) {
+	cb, rows, ok, err := c.NextView()
+	if cb != nil {
+		cb.Release()
+	}
+	return rows, ok, err
+}
+
+// NextView fetches the next page and returns both cached views — the
+// columnar batch (caller owns one reference and must Release it) and the
+// shared row view — or ok=false at end of sweep. Vectorized scans evaluate
+// predicates over the batch and pick surviving rows from the row view.
+func (c *ScanCursor) NextView() (cb *vec.ColBatch, rows []types.Row, ok bool, err error) {
 	idx, ok := c.Next()
 	if !ok {
-		return nil, false, nil
+		return nil, nil, false, nil
 	}
 	if c.numPages > 1 && c.group.prefetchOn() {
 		c.group.hf.Prefetch((idx + 1) % c.numPages)
 	}
-	rows, err = c.group.hf.Page(idx)
+	cb, rows, err = c.group.hf.PageView(idx)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
-	return rows, true, nil
+	return cb, rows, true, nil
 }
 
 // Close detaches the cursor from its group.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package vec
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// assertions over sync.Pool are skipped under it (the instrumentation
+// itself allocates).
+const raceEnabled = false

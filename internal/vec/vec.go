@@ -1,0 +1,338 @@
+// Package vec is the columnar value model of the data path: typed column
+// vectors (Vec), page-sized column batches (ColBatch) and the selection-
+// vector convention shared by the vectorized predicate kernels
+// (expr.CompileVec), the storage layer's columnar page cache and the CJOIN
+// annotate/probe loops.
+//
+// A Vec is the struct-of-arrays form of a []types.Datum column: one kind tag
+// per row plus typed payload arrays that exist only for the kinds the column
+// actually holds. Homogeneous columns — the overwhelmingly common case — are
+// summarized by uniformity flags (AllInt, AllFloat, AllStr) so kernels can
+// run tight typed-slice loops and fall back to per-row Datum reconstruction
+// only on mixed or NULL-bearing columns. Integer-class kinds (int, date,
+// bool) share the int64 payload exactly as types.Datum does, so date
+// predicates vectorize as int64 range checks.
+//
+// Selection-vector convention: a selection is an ascending []int32 of row
+// indexes into the batch. Kernels take an input selection and write the
+// surviving subset into a caller-provided output slice (which may alias the
+// input — kernels only ever write at or before their read position), so
+// predicate chains evaluate with zero allocation. ColBatch.AllSel returns
+// the cached identity selection for "every row".
+//
+// ColBatches are pooled and reference-counted: the storage layer caches one
+// per resident page frame (one ref), hands extra refs to readers
+// (HeapFile.PageCols), and the batch returns to the pool when the last ref
+// drops. Strings are stored as Go string headers ([]string), not offsets
+// into the page bytes, so rows materialized from a batch stay valid after
+// the batch is recycled — the string contents are independent immutable
+// heap objects.
+package vec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// Uniformity flags. A flag is set while every row appended so far is of the
+// corresponding kind class; NULL clears all three.
+const (
+	flagAllInt uint8 = 1 << iota // every row is int-class (int, date, bool)
+	flagAllFloat
+	flagAllStr
+	flagAllUniform = flagAllInt | flagAllFloat | flagAllStr
+)
+
+// Vec is one typed column: per-row kind tags plus payload arrays allocated
+// lazily for the kinds the column holds. For row i, Kinds[i] selects the
+// payload: I[i] for int-class kinds, F[i] for floats, S[i] for strings,
+// nothing for NULL.
+type Vec struct {
+	Kinds []types.Kind
+	I     []int64
+	F     []float64
+	S     []string
+
+	flags uint8
+}
+
+// Len returns the number of rows appended.
+func (v *Vec) Len() int { return len(v.Kinds) }
+
+// AllInt reports whether every row is integer-class (int, date or bool) —
+// the precondition for the int64 kernels. Implies no NULLs.
+func (v *Vec) AllInt() bool { return v.flags&flagAllInt != 0 }
+
+// AllFloat reports whether every row is a float. Implies no NULLs.
+func (v *Vec) AllFloat() bool { return v.flags&flagAllFloat != 0 }
+
+// AllStr reports whether every row is a string. Implies no NULLs.
+func (v *Vec) AllStr() bool { return v.flags&flagAllStr != 0 }
+
+// reset empties the vector for reuse, retaining payload capacity. Strings
+// are cleared so a pooled vector does not pin page data alive.
+func (v *Vec) reset() {
+	v.Kinds = v.Kinds[:0]
+	v.I = v.I[:0]
+	v.F = v.F[:0]
+	clear(v.S)
+	v.S = v.S[:0]
+	v.flags = flagAllUniform
+}
+
+// pad grows s with zero values to length n (no-op on homogeneous columns,
+// where every payload write lands at the end of its array).
+func padI(s []int64, n int) []int64 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func padF(s []float64, n int) []float64 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
+}
+
+func padS(s []string, n int) []string {
+	for len(s) < n {
+		s = append(s, "")
+	}
+	return s
+}
+
+// AppendDatum appends one value, routing the payload to its typed array and
+// updating the uniformity flags.
+func (v *Vec) AppendDatum(d types.Datum) {
+	i := len(v.Kinds)
+	v.Kinds = append(v.Kinds, d.K)
+	switch d.K {
+	case types.KindInt, types.KindDate, types.KindBool:
+		v.flags &^= flagAllFloat | flagAllStr
+		v.I = append(padI(v.I, i), d.I)
+	case types.KindFloat:
+		v.flags &^= flagAllInt | flagAllStr
+		v.F = append(padF(v.F, i), d.F)
+	case types.KindString:
+		v.flags &^= flagAllInt | flagAllFloat
+		v.S = append(padS(v.S, i), d.S)
+	default: // NULL
+		v.flags = 0
+	}
+}
+
+// Datum reconstructs row i as a types.Datum. The payload array for the
+// row's kind is guaranteed to cover index i by construction.
+func (v *Vec) Datum(i int) types.Datum {
+	switch k := v.Kinds[i]; k {
+	case types.KindNull:
+		return types.Null
+	case types.KindFloat:
+		return types.Datum{K: k, F: v.F[i]}
+	case types.KindString:
+		return types.Datum{K: k, S: v.S[i]}
+	default:
+		return types.Datum{K: k, I: v.I[i]}
+	}
+}
+
+// ColBatch is a page of rows in columnar form. Batches are pooled: obtain
+// one with Get, share it with Retain, and drop it with Release — the last
+// Release returns it to the pool. A sealed batch is immutable and safe for
+// concurrent readers.
+type ColBatch struct {
+	cols   []Vec
+	n      int
+	allSel []int32
+
+	refs atomic.Int32
+}
+
+var batchPool sync.Pool
+
+// Get takes a recycled batch from the pool (or allocates one) sized for
+// ncols columns, with one reference held by the caller.
+func Get(ncols int) *ColBatch {
+	b, _ := batchPool.Get().(*ColBatch)
+	if b == nil {
+		b = &ColBatch{}
+	}
+	if cap(b.cols) < ncols {
+		b.cols = make([]Vec, ncols)
+		for i := range b.cols {
+			b.cols[i].flags = flagAllUniform
+		}
+	} else {
+		b.cols = b.cols[:ncols]
+	}
+	b.n = 0
+	b.allSel = b.allSel[:0]
+	b.refs.Store(1)
+	return b
+}
+
+// Retain adds a reference; every Retain must be paired with a Release.
+func (b *ColBatch) Retain() { b.refs.Add(1) }
+
+// Release drops a reference; the last one resets the batch and returns it
+// to the pool. Dropping a reference that was never taken panics.
+func (b *ColBatch) Release() {
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		for i := range b.cols {
+			b.cols[i].reset()
+		}
+		b.n = 0
+		batchPool.Put(b)
+	case n < 0:
+		panic("vec: ColBatch over-released")
+	}
+}
+
+// NumCols returns the number of columns.
+func (b *ColBatch) NumCols() int { return len(b.cols) }
+
+// Len returns the number of rows (valid after Seal).
+func (b *ColBatch) Len() int { return b.n }
+
+// Col returns column i.
+func (b *ColBatch) Col(i int) *Vec { return &b.cols[i] }
+
+// AppendRow appends one row column-wise (bulk decode uses per-column
+// AppendDatum directly; this is the convenience form).
+func (b *ColBatch) AppendRow(r types.Row) {
+	for i := range r {
+		b.cols[i].AppendDatum(r[i])
+	}
+}
+
+// Seal fixes the row count, validates that every column covers it, and
+// builds the cached identity selection. A batch must be sealed before it is
+// shared: the lazy structures are built here, not on first concurrent read.
+func (b *ColBatch) Seal(n int) {
+	for i := range b.cols {
+		if b.cols[i].Len() != n {
+			panic(fmt.Sprintf("vec: column %d has %d rows, batch has %d", i, b.cols[i].Len(), n))
+		}
+	}
+	b.n = n
+	if cap(b.allSel) < n {
+		b.allSel = make([]int32, n)
+	} else {
+		b.allSel = b.allSel[:n]
+	}
+	for i := range b.allSel {
+		b.allSel[i] = int32(i)
+	}
+}
+
+// AllSel returns the identity selection [0, 1, …, Len-1]. The slice is
+// shared and must not be written.
+func (b *ColBatch) AllSel() []int32 { return b.allSel }
+
+// MaterializeRow writes row i into dst (one datum per column). dst must
+// have NumCols entries.
+func (b *ColBatch) MaterializeRow(i int, dst types.Row) {
+	for c := range b.cols {
+		dst[c] = b.cols[c].Datum(i)
+	}
+}
+
+// Row returns row i as a freshly allocated types.Row.
+func (b *ColBatch) Row(i int) types.Row {
+	r := make(types.Row, len(b.cols))
+	b.MaterializeRow(i, r)
+	return r
+}
+
+// Rows materializes every row (testing and cold-path convenience).
+func (b *ColBatch) Rows() []types.Row {
+	out := make([]types.Row, b.n)
+	for i := range out {
+		out[i] = b.Row(i)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Selection-vector set operations (inputs ascending, outputs ascending).
+
+// Diff writes sel \ sub into out and returns the written prefix. sub must
+// be an ascending subset of sel. out may alias sel (writes trail reads).
+func Diff(sel, sub, out []int32) []int32 {
+	k, j := 0, 0
+	for _, r := range sel {
+		if j < len(sub) && sub[j] == r {
+			j++
+			continue
+		}
+		out[k] = r
+		k++
+	}
+	return out[:k]
+}
+
+// Union merges two disjoint ascending selections into out and returns the
+// written prefix. out may alias the backing of a caller-held selection as
+// long as it does not alias a or b.
+func Union(a, b, out []int32) []int32 {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	k += copy(out[k:], b[j:])
+	return out[:k]
+}
+
+// ---------------------------------------------------------------------------
+// Scratch
+
+// Scratch holds the reusable temporaries of one predicate evaluation chain:
+// a stack of selection buffers (And/Or/Not kernels grab and drop them in
+// LIFO order) and a scratch row for the scalar fallback. A Scratch is owned
+// by one goroutine; kernels sharing a compiled predicate across workers
+// each pass their own.
+type Scratch struct {
+	sels  [][]int32
+	depth int
+	row   types.Row
+}
+
+// Grab pushes and returns a selection buffer of length n.
+func (s *Scratch) Grab(n int) []int32 {
+	if s.depth == len(s.sels) {
+		s.sels = append(s.sels, nil)
+	}
+	buf := s.sels[s.depth]
+	if cap(buf) < n {
+		buf = make([]int32, n)
+		s.sels[s.depth] = buf
+	}
+	s.depth++
+	return buf[:n]
+}
+
+// Drop pops the most recently grabbed buffer.
+func (s *Scratch) Drop() { s.depth-- }
+
+// Row returns the scratch row sized to width, for materializing one row at
+// a time in the scalar fallback.
+func (s *Scratch) Row(width int) types.Row {
+	if cap(s.row) < width {
+		s.row = make(types.Row, width)
+	}
+	return s.row[:width]
+}

@@ -27,24 +27,36 @@ func measureBatchResponse(ctx context.Context, e *engine.Engine, roots []plan.No
 type planSource func(r *rand.Rand) plan.Node
 
 // Measurement is one throughput measurement: rate, mean per-query latency,
-// and the engine-side CPU-utilisation proxy over the window.
+// the engine-side CPU-utilisation proxy over the window, and the heap
+// allocation rate per completed query (runtime mallocs over the window
+// divided by completions — a process-wide proxy that tracks the data path's
+// steady-state allocation profile).
 type Measurement struct {
-	Throughput  float64       // queries per second
-	MeanLatency time.Duration // mean per-query response time
-	CPUUtil     float64       // operator busy time / (wall x GOMAXPROCS), clamped to 1
+	Throughput     float64       // queries per second
+	MeanLatency    time.Duration // mean per-query response time
+	CPUUtil        float64       // operator busy time / (wall x GOMAXPROCS), clamped to 1
+	AllocsPerQuery float64       // heap allocations per completed query
 }
 
 // busyFn reports cumulative processing time from a component outside the
 // engine's stages (the CJOIN pipeline); nil means no extra component.
 type busyFn func() time.Duration
 
+// mallocCount reads the process-wide cumulative malloc counter.
+func mallocCount() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
 // finishMeasurement derives the shared metrics of a run.
-func finishMeasurement(e *engine.Engine, extra busyFn, busyBefore time.Duration, start time.Time, completed int64, totalLatency time.Duration) Measurement {
+func finishMeasurement(e *engine.Engine, extra busyFn, busyBefore time.Duration, start time.Time, completed int64, totalLatency time.Duration, mallocsBefore uint64) Measurement {
 	elapsed := time.Since(start)
 	m := Measurement{}
 	if completed > 0 {
 		m.Throughput = float64(completed) / elapsed.Seconds()
 		m.MeanLatency = totalLatency / time.Duration(completed)
+		m.AllocsPerQuery = float64(mallocCount()-mallocsBefore) / float64(completed)
 	}
 	busy := e.Stats().Busy
 	if extra != nil {
@@ -71,6 +83,7 @@ func closedLoopThroughput(ctx context.Context, e *engine.Engine, extra busyFn, c
 	if extra != nil {
 		busyBefore += extra()
 	}
+	mallocsBefore := mallocCount()
 	start := time.Now()
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
@@ -92,7 +105,7 @@ func closedLoopThroughput(ctx context.Context, e *engine.Engine, extra busyFn, c
 	if err, ok := firstErr.Load().(error); ok && err != nil {
 		return Measurement{}, err
 	}
-	return finishMeasurement(e, extra, busyBefore, start, completed.Load(), time.Duration(latencyNanos.Load())), nil
+	return finishMeasurement(e, extra, busyBefore, start, completed.Load(), time.Duration(latencyNanos.Load()), mallocsBefore), nil
 }
 
 // batchedThroughput runs rounds in which all clients submit simultaneously
@@ -105,6 +118,7 @@ func batchedThroughput(ctx context.Context, e *engine.Engine, extra busyFn, clie
 	if extra != nil {
 		busyBefore += extra()
 	}
+	mallocsBefore := mallocCount()
 	start := time.Now()
 	var completed int64
 	var totalLatency time.Duration
@@ -120,7 +134,7 @@ func batchedThroughput(ctx context.Context, e *engine.Engine, extra busyFn, clie
 		totalLatency += time.Since(r0) * time.Duration(clients)
 		completed += int64(clients)
 	}
-	return finishMeasurement(e, extra, busyBefore, start, completed, totalLatency), nil
+	return finishMeasurement(e, extra, busyBefore, start, completed, totalLatency, mallocsBefore), nil
 }
 
 // throughput dispatches on the batching flag.

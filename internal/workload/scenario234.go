@@ -105,6 +105,7 @@ type ScenarioIIPoint struct {
 	Throughput  map[string]float64
 	MeanLatency map[string]time.Duration
 	CPUUtil     map[string]float64
+	Allocs      map[string]float64 // heap allocations per completed query
 }
 
 // ScenarioIIResult is the full Scenario II series.
@@ -134,6 +135,7 @@ func RunScenarioII(ctx context.Context, cfg ScenarioIIConfig) (*ScenarioIIResult
 			Throughput:  make(map[string]float64),
 			MeanLatency: make(map[string]time.Duration),
 			CPUUtil:     make(map[string]float64),
+			Allocs:      make(map[string]float64),
 		}
 		for _, line := range res.Lines {
 			useGQP := line == LineGQP
@@ -152,6 +154,7 @@ func RunScenarioII(ctx context.Context, cfg ScenarioIIConfig) (*ScenarioIIResult
 			pt.Throughput[line] = m.Throughput
 			pt.MeanLatency[line] = m.MeanLatency
 			pt.CPUUtil[line] = m.CPUUtil
+			pt.Allocs[line] = m.AllocsPerQuery
 		}
 		res.Points = append(res.Points, pt)
 	}
@@ -203,6 +206,7 @@ type ScenarioIIIPoint struct {
 	Throughput  map[string]float64
 	MeanLatency map[string]time.Duration
 	CPUUtil     map[string]float64
+	Allocs      map[string]float64 // heap allocations per completed query
 }
 
 // ScenarioIIIResult is the full Scenario III series.
@@ -239,6 +243,7 @@ func RunScenarioIII(ctx context.Context, cfg ScenarioIIIConfig) (*ScenarioIIIRes
 			Throughput:  make(map[string]float64),
 			MeanLatency: make(map[string]time.Duration),
 			CPUUtil:     make(map[string]float64),
+			Allocs:      make(map[string]float64),
 		}
 		for _, line := range res.Lines {
 			useGQP := line == LineGQP
@@ -258,6 +263,7 @@ func RunScenarioIII(ctx context.Context, cfg ScenarioIIIConfig) (*ScenarioIIIRes
 			pt.Throughput[line] = m.Throughput
 			pt.MeanLatency[line] = m.MeanLatency
 			pt.CPUUtil[line] = m.CPUUtil
+			pt.Allocs[line] = m.AllocsPerQuery
 		}
 		res.Points = append(res.Points, pt)
 	}
@@ -311,6 +317,9 @@ func (c ScenarioIVConfig) withDefaults() ScenarioIVConfig {
 type ScenarioIVPoint struct {
 	Plans      int
 	Throughput map[string]float64
+	// MeanLatency and Allocs mirror the scenario II/III metrics.
+	MeanLatency map[string]time.Duration
+	Allocs      map[string]float64
 	// SPAttachedCJoin counts satellites attached at the CJOIN stage
 	// (identical star sub-plans served by one admission).
 	SPAttachedCJoin map[string]int64
@@ -346,6 +355,8 @@ func RunScenarioIV(ctx context.Context, cfg ScenarioIVConfig) (*ScenarioIVResult
 		pt := ScenarioIVPoint{
 			Plans:           nplans,
 			Throughput:      make(map[string]float64),
+			MeanLatency:     make(map[string]time.Duration),
+			Allocs:          make(map[string]float64),
 			SPAttachedCJoin: make(map[string]int64),
 			SPAttachedTotal: make(map[string]int64),
 			Admitted:        make(map[string]int64),
@@ -372,6 +383,8 @@ func RunScenarioIV(ctx context.Context, cfg ScenarioIVConfig) (*ScenarioIVResult
 				return nil, err
 			}
 			pt.Throughput[line] = m.Throughput
+			pt.MeanLatency[line] = m.MeanLatency
+			pt.Allocs[line] = m.AllocsPerQuery
 			after := env.CJoin.Stats()
 			pt.Admitted[line] = after.Admitted - before.Admitted
 			var total int64
