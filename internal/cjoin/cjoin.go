@@ -188,11 +188,13 @@ type wmsg struct {
 // Tuples live in flat arenas so a page costs zero steady-state allocations:
 // tuple i is row rowIdx[i] of the page's column batch cols, its query bitmap
 // is the word slice words[i*stride:(i+1)*stride], and its joined row for
-// dimension j is dims[i*ndims+j]. The probe loop compacts the arenas in
-// place as tuples die. A dims slot is only ever read for a (tuple, query)
-// pair whose bit survived that dimension's probe, which implies the probe
-// hit and wrote the slot on the current page — so stale slots from a
-// recycled item are never observed and need not be cleared.
+// dimension j is dims[rowIdx[i]*ndims+j] — dims is indexed by the tuple's
+// page row, which never changes, so the probe loop's in-place compaction
+// moves only rowIdx and the bitmap words as tuples die, never the joined
+// rows. A dims slot is only ever read for a (tuple, query) pair whose bit
+// survived that dimension's probe, which implies the probe hit and wrote
+// the slot on the current page — so stale slots from a recycled item are
+// never observed and need not be cleared.
 type item struct {
 	seq  int64
 	pre  []ctlMsg
@@ -207,7 +209,7 @@ type item struct {
 	stride int         // bitmap words per tuple
 	ndims  int         // dimension slots per tuple
 	rowIdx []int32     // rowIdx[:n]: live tuple i → row index in cols
-	dims   []types.Row // dims[i*ndims+j]: joined row of dim j for tuple i
+	dims   []types.Row // dims[r*ndims+j]: joined row of dim j for page row r
 	words  []uint64    // words[i*stride:(i+1)*stride]: tuple i's bitmap
 }
 
@@ -279,10 +281,12 @@ type subscription struct {
 
 	// Per-operator-dimension admission plan, compiled once at subscription
 	// time and then applied by every worker replica: dimRef[d] reports
-	// whether the query references dimension d; dimPred[d] is its compiled
-	// dimension predicate (nil = every dimension row qualifies).
-	dimRef  []bool
-	dimPred []func(types.Row) bool
+	// whether the query references dimension d; dimPredVec[d] is its
+	// vectorized dimension predicate (nil = every dimension row qualifies),
+	// evaluated over the dimension table's cached column batch at admission
+	// time.
+	dimRef     []bool
+	dimPredVec []expr.VecPred
 
 	// Precomputed distributor route: output width and flat column map,
 	// derived once at subscription time instead of per routed tuple.
@@ -480,12 +484,12 @@ func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 			q.Fact.Name, op.fact.Name)
 	}
 	sub := &subscription{
-		q:        q,
-		out:      make(chan *batch.Batch, op.cfg.OutBuffer),
-		cancelCh: make(chan struct{}),
-		dimIdx:   make([]int, len(q.Dims)),
-		dimRef:   make([]bool, len(op.specs)),
-		dimPred:  make([]func(types.Row) bool, len(op.specs)),
+		q:          q,
+		out:        make(chan *batch.Batch, op.cfg.OutBuffer),
+		cancelCh:   make(chan struct{}),
+		dimIdx:     make([]int, len(q.Dims)),
+		dimRef:     make([]bool, len(op.specs)),
+		dimPredVec: make([]expr.VecPred, len(op.specs)),
 	}
 	for i, d := range q.Dims {
 		idx, ok := op.byName[d.Table.Name]
@@ -500,7 +504,7 @@ func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 		sub.dimIdx[i] = idx
 		sub.dimRef[idx] = true
 		if d.Pred != nil {
-			sub.dimPred[idx] = expr.Compile(d.Pred)
+			sub.dimPredVec[idx] = expr.CompileVec(d.Pred)
 		}
 	}
 	if q.FactPred != nil {
@@ -749,23 +753,42 @@ func (w *worker) annotate(it *item, active []*subscription, nslots int) {
 			}
 			continue
 		}
+		if stride == 1 {
+			for _, r := range sub.factVec(cb, all, sel, &w.scratch) {
+				words[r] |= bit
+			}
+			continue
+		}
 		for _, r := range sub.factVec(cb, all, sel, &w.scratch) {
 			words[int(r)*stride+int(wi)] |= bit
 		}
 	}
 	n := 0
 	var dropped int64
-	for r := 0; r < nrows; r++ {
-		tw := words[r*stride : (r+1)*stride]
-		if !bitvec.AnyWords(tw) {
-			dropped++
-			continue
+	if stride == 1 {
+		for r := 0; r < nrows; r++ {
+			tw := words[r]
+			if tw == 0 {
+				dropped++
+				continue
+			}
+			it.rowIdx[n] = int32(r)
+			words[n] = tw
+			n++
 		}
-		it.rowIdx[n] = int32(r)
-		if n != r {
-			copy(words[n*stride:(n+1)*stride], tw)
+	} else {
+		for r := 0; r < nrows; r++ {
+			tw := words[r*stride : (r+1)*stride]
+			if !bitvec.AnyWords(tw) {
+				dropped++
+				continue
+			}
+			it.rowIdx[n] = int32(r)
+			if n != r {
+				copy(words[n*stride:(n+1)*stride], tw)
+			}
+			n++
 		}
-		n++
 	}
 	it.n = n
 	if dropped > 0 {
@@ -806,6 +829,12 @@ type dimTable struct {
 	direct    []int32
 	directMin int64
 	directMax int64
+
+	// cb is the table's rows in columnar form, entry-aligned with keys/rows.
+	// Admission evaluates each query's vectorized dimension predicate over
+	// this batch instead of walking rows one at a time. Built once, never
+	// released (the index pins the rows for the operator's lifetime anyway).
+	cb *vec.ColBatch
 }
 
 // directSpanFactor bounds the memory of the dense index relative to the
@@ -833,6 +862,13 @@ func newDimTable(idx int, spec DimSpec) (*dimTable, error) {
 	n := len(dt.keys)
 	if n >= 1<<30 {
 		return nil, fmt.Errorf("cjoin: dimension %q too large (%d rows)", spec.Table.Name, n)
+	}
+	if n > 0 {
+		dt.cb = vec.Get(spec.Table.Schema.Len())
+		for _, r := range dt.rows {
+			dt.cb.AppendRow(r)
+		}
+		dt.cb.Seal(n)
 	}
 	if allStr && n > 0 {
 		dt.strDict = make(map[string]int32, n)
@@ -1050,6 +1086,9 @@ type dimState struct {
 	ebits   []uint64 // entry bitmap arena
 	estride int      // words per entry bitmap
 	mask    []uint64 // queries referencing this dimension
+
+	scratch  vec.Scratch // admission-predicate temporaries, replica-owned
+	admitSel []int32     // admission selection buffer, sized to the table
 }
 
 func newDimState(tab *dimTable, op *Operator) dimState {
@@ -1080,21 +1119,30 @@ func (ds *dimState) growTo(id int) {
 }
 
 // admitQuery installs the query's bits in this replica: entry bitmaps for
-// every dimension tuple satisfying its compiled predicate, and the stage
-// mask.
+// every dimension tuple satisfying its predicate, and the stage mask. A
+// query with a dimension predicate is evaluated vectorized over the table's
+// cached column batch — one kernel sweep instead of one compiled-closure
+// call per entry; a predicate-free query marks every entry directly.
 func (ds *dimState) admitQuery(sub *subscription) {
 	if !sub.dimRef[ds.tab.idx] {
 		return // bits outside the mask pass through unchanged
 	}
-	pred := sub.dimPred[ds.tab.idx]
 	ds.growTo(sub.id)
 	w, bit := sub.id/64, uint64(1)<<(uint(sub.id)&63)
 	ds.mask[w] |= bit
 	es := ds.estride
-	for i, r := range ds.tab.rows {
-		if pred == nil || pred(r) {
-			ds.ebits[i*es+w] |= bit
+	if vp := sub.dimPredVec[ds.tab.idx]; vp != nil && ds.tab.cb != nil {
+		all := ds.tab.cb.AllSel()
+		if cap(ds.admitSel) < len(all) {
+			ds.admitSel = make([]int32, len(all))
 		}
+		for _, i := range vp(ds.tab.cb, all, ds.admitSel[:len(all)], &ds.scratch) {
+			ds.ebits[int(i)*es+w] |= bit
+		}
+		return
+	}
+	for i := range ds.tab.rows {
+		ds.ebits[i*es+w] |= bit
 	}
 }
 
@@ -1127,37 +1175,72 @@ func (ds *dimState) processTuples(it *item) {
 	ki := kc.I
 	var probes, misses, dropped int64
 	n := 0
-	for i := 0; i < it.n; i++ {
-		tw := it.words[i*stride : (i+1)*stride]
-		r := int(it.rowIdx[i])
-		probes++
-		var ei int
-		if fastInt {
-			ei = dt.lookupInt(ki[r])
-		} else if k := kc.Datum(r); !k.IsNull() {
-			ei = dt.lookup(k)
-		} else {
-			ei = -1
+	if stride == 1 && es == 1 && len(ds.mask) == 1 {
+		// Single-word bitmaps — up to 64 concurrent queries, the common
+		// case: the fold is one scalar op, with no per-tuple subslicing.
+		mask, ebits := ds.mask[0], ds.ebits
+		words, rowIdx := it.words, it.rowIdx
+		for i := 0; i < it.n; i++ {
+			w := words[i]
+			r := int(rowIdx[i])
+			probes++
+			var ei int
+			if fastInt {
+				ei = dt.lookupInt(ki[r])
+			} else if k := kc.Datum(r); !k.IsNull() {
+				ei = dt.lookup(k)
+			} else {
+				ei = -1
+			}
+			if ei >= 0 {
+				w &= ebits[ei] | ^mask
+			} else {
+				misses++
+				w &^= mask
+			}
+			if w == 0 {
+				dropped++
+				continue
+			}
+			words[n] = w
+			rowIdx[n] = rowIdx[i]
+			if ei >= 0 {
+				it.dims[r*nd+dt.idx] = dt.rows[ei]
+			}
+			n++
 		}
-		if ei >= 0 {
-			bitvec.AndMaskedWords(tw, ds.ebits[ei*es:(ei+1)*es], ds.mask)
-		} else {
-			misses++
-			bitvec.AndNotWords(tw, ds.mask)
+	} else {
+		for i := 0; i < it.n; i++ {
+			tw := it.words[i*stride : (i+1)*stride]
+			r := int(it.rowIdx[i])
+			probes++
+			var ei int
+			if fastInt {
+				ei = dt.lookupInt(ki[r])
+			} else if k := kc.Datum(r); !k.IsNull() {
+				ei = dt.lookup(k)
+			} else {
+				ei = -1
+			}
+			if ei >= 0 {
+				bitvec.AndMaskedWords(tw, ds.ebits[ei*es:(ei+1)*es], ds.mask)
+			} else {
+				misses++
+				bitvec.AndNotWords(tw, ds.mask)
+			}
+			if !bitvec.AnyWords(tw) {
+				dropped++
+				continue
+			}
+			if n != i {
+				it.rowIdx[n] = it.rowIdx[i]
+				copy(it.words[n*stride:(n+1)*stride], tw)
+			}
+			if ei >= 0 {
+				it.dims[r*nd+dt.idx] = dt.rows[ei]
+			}
+			n++
 		}
-		if !bitvec.AnyWords(tw) {
-			dropped++
-			continue
-		}
-		if n != i {
-			it.rowIdx[n] = it.rowIdx[i]
-			copy(it.dims[n*nd:(n+1)*nd], it.dims[i*nd:(i+1)*nd])
-			copy(it.words[n*stride:(n+1)*stride], tw)
-		}
-		if ei >= 0 {
-			it.dims[n*nd+dt.idx] = dt.rows[ei]
-		}
-		n++
 	}
 	it.n = n
 	if probes > 0 {
@@ -1334,7 +1417,7 @@ func (d *distributor) route(sub *subscription, it *item, ti int) {
 	a := sub.arena
 	base := len(a)
 	r := int(it.rowIdx[ti])
-	dimBase := ti * it.ndims
+	dimBase := r * it.ndims
 	for _, rc := range sub.route {
 		if rc.dim < 0 {
 			a = append(a, it.cols.Col(rc.col).Datum(r))

@@ -3,6 +3,7 @@ package cjoin
 import (
 	"context"
 	"errors"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -29,9 +30,12 @@ func faultStar(t *testing.T, n int) (*storage.Catalog, *storage.FaultDisk) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pad := types.NewString(strings.Repeat("z", 80))
+	// Unique pads keep the fact table many pages larger than the pool even
+	// under the columnar format's dictionary compression.
+	pad := strings.Repeat("z", 80)
 	for i := 0; i < n; i++ {
-		if err := lo.File.Append(types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 5)), pad}); err != nil {
+		row := types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 5)), types.NewString(pad + strconv.Itoa(i))}
+		if err := lo.File.Append(row); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -206,7 +206,9 @@ func TestProbePathZeroAllocs(t *testing.T) {
 	}
 	work := &item{cols: master.cols}
 	reload := func() {
-		work.ensure(master.n, master.stride, master.ndims)
+		// Mirror annotate: arenas are sized for the page's rows (dims is
+		// indexed by page row), live count set after.
+		work.ensure(master.cols.Len(), master.stride, master.ndims)
 		copy(work.rowIdx, master.rowIdx[:master.n])
 		copy(work.words, master.words[:master.n*master.stride])
 		work.n = master.n
@@ -265,7 +267,7 @@ func BenchmarkCJoinProbe(b *testing.B) {
 		st.admitQuery(sub)
 	}
 	work := &item{cols: master.cols}
-	work.ensure(master.n, master.stride, master.ndims)
+	work.ensure(master.cols.Len(), master.stride, master.ndims)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

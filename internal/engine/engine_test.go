@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -33,6 +34,8 @@ func testDB(t *testing.T, n int) *storage.Catalog {
 		t.Fatal(err)
 	}
 	r := rand.New(rand.NewSource(42))
+	// Unique pads so the columnar page dictionary cannot collapse the
+	// column — several tests need the table to span many pages.
 	pad := strings.Repeat("x", 40)
 	rows := make([]types.Row, n)
 	for i := range rows {
@@ -40,7 +43,7 @@ func testDB(t *testing.T, n int) *storage.Catalog {
 			types.NewInt(int64(i)),
 			types.NewInt(int64(r.Intn(5))),
 			types.NewFloat(float64(r.Intn(1000)) / 10),
-			types.NewString(pad),
+			types.NewString(pad + strconv.Itoa(i)),
 		}
 	}
 	if err := sales.File.Append(rows...); err != nil {

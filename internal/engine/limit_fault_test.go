@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -156,9 +157,11 @@ func faultDB(t *testing.T, n int) (*storage.Catalog, *storage.FaultDisk) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pad := types.NewString(strings.Repeat("x", 100))
+	// Unique pads keep the table many pages larger than the pool even under
+	// the columnar format's dictionary compression.
+	pad := strings.Repeat("x", 100)
 	for i := 0; i < n; i++ {
-		if err := tbl.File.Append(types.Row{types.NewInt(int64(i)), pad}); err != nil {
+		if err := tbl.File.Append(types.Row{types.NewInt(int64(i)), types.NewString(pad + strconv.Itoa(i))}); err != nil {
 			t.Fatal(err)
 		}
 	}

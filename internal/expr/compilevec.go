@@ -157,6 +157,71 @@ func cmpIntLoop(op CmpOp, vi []int64, ki int64, sel, out []int32) []int32 {
 	return out[:k]
 }
 
+// ---------------------------------------------------------------------------
+// Dictionary-code kernels: the encoded-data fast path for string columns of
+// the v2 page format. A dictionary column stores sorted unique strings in
+// Dict and per-row codes in I, so code order is string order; a string
+// constant is translated to a code bound once per page (two binary searches
+// at most) and the per-row work is an int compare — the string payloads are
+// never read.
+
+// dictLowerBound returns the first index in the sorted dictionary whose
+// entry is >= s (hand-rolled to keep the per-page translation
+// allocation-free).
+func dictLowerBound(dict []string, s string) int {
+	lo, hi := 0, len(dict)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if dict[mid] < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// dictUpperBound returns the first index whose entry is > s.
+func dictUpperBound(dict []string, s string) int {
+	lo, hi := 0, len(dict)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if dict[mid] <= s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// cmpDictLoop filters sel by Dict[I[r]] op ks, rewritten as an int compare
+// on the codes against a translated bound.
+func cmpDictLoop(op CmpOp, v *vec.Vec, ks string, sel, out []int32) []int32 {
+	dict, codes := v.Dict, v.I
+	lb := dictLowerBound(dict, ks)
+	switch op {
+	case EQ:
+		if lb == len(dict) || dict[lb] != ks {
+			return out[:0]
+		}
+		return cmpIntLoop(EQ, codes, int64(lb), sel, out)
+	case NE:
+		if lb == len(dict) || dict[lb] != ks {
+			return out[:copy(out, sel)]
+		}
+		return cmpIntLoop(NE, codes, int64(lb), sel, out)
+	case LT: // s < ks  ⇔  code < #entries below ks
+		return cmpIntLoop(LT, codes, int64(lb), sel, out)
+	case GE:
+		return cmpIntLoop(GE, codes, int64(lb), sel, out)
+	case LE: // s <= ks ⇔  code < #entries at or below ks
+		return cmpIntLoop(LT, codes, int64(dictUpperBound(dict, ks)), sel, out)
+	default: // GT
+		return cmpIntLoop(GE, codes, int64(dictUpperBound(dict, ks)), sel, out)
+	}
+}
+
 // cmpStrLoop is cmpIntLoop for homogeneous string columns.
 func cmpStrLoop(op CmpOp, vs []string, ks string, sel, out []int32) []int32 {
 	k := 0
@@ -227,6 +292,9 @@ func compileVecCmpColConst(op CmpOp, idx int, kd types.Datum) VecPred {
 			}
 			return out[:k]
 		case v.AllStr() && kd.K == types.KindString:
+			if v.HasDict() {
+				return cmpDictLoop(op, v, kd.S, sel, out)
+			}
 			return cmpStrLoop(op, v.S, kd.S, sel, out)
 		default:
 			k := 0
@@ -320,6 +388,20 @@ func compileVecBetween(bt Between) VecPred {
 			}
 			return out[:k]
 		case v.AllStr() && strBounds:
+			if v.HasDict() {
+				// lo <= s <= hi  ⇔  lowerBound(lo) <= code < upperBound(hi).
+				loC := int64(dictLowerBound(v.Dict, loD.S))
+				hiC := int64(dictUpperBound(v.Dict, hiD.S))
+				vi := v.I
+				k := 0
+				for _, r := range sel {
+					if c := vi[r]; c >= loC && c < hiC {
+						out[k] = r
+						k++
+					}
+				}
+				return out[:k]
+			}
 			vs, loS, hiS := v.S, loD.S, hiD.S
 			k := 0
 			for _, r := range sel {
@@ -400,6 +482,30 @@ func compileVecIn(in In) VecPred {
 		return func(b *vec.ColBatch, sel, out []int32, scr *vec.Scratch) []int32 {
 			v := b.Col(idx)
 			k := 0
+			if v.AllStr() && v.HasDict() {
+				// Translate the set to dictionary codes once per page;
+				// membership is then a scan of a handful of ints per row
+				// (set members absent from the page's dictionary drop out).
+				codes := scr.Grab(len(set))[:0]
+				for s := range strs {
+					if i := dictLowerBound(v.Dict, s); i < len(v.Dict) && v.Dict[i] == s {
+						codes = append(codes, int32(i))
+					}
+				}
+				vi := v.I
+				for _, r := range sel {
+					c := int32(vi[r])
+					for _, m := range codes {
+						if c == m {
+							out[k] = r
+							k++
+							break
+						}
+					}
+				}
+				scr.Drop()
+				return out[:k]
+			}
 			if v.AllStr() {
 				vs := v.S
 				for _, r := range sel {

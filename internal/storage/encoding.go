@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/types"
 	"repro/internal/vec"
@@ -17,34 +18,125 @@ import (
 // PageSize is the size of every on-disk page in bytes.
 const PageSize = 32 * 1024
 
-// pageHeaderSize holds the uint16 row count.
+// v1 pages are row-major: a uint16 row count followed by per-datum encoded
+// rows. v2 pages (the only format the builder writes) are column-major and
+// identified by a magic row count no legal v1 page can carry, followed by a
+// format-version byte:
+//
+//	[0:2]  0xFFFF page magic (v1 pages store the row count here; a v1 page
+//	       can never hold 65535 rows — each row costs at least one byte and
+//	       the page body is under 32767 bytes)
+//	[2]    format version (2)
+//	[3:5]  uint16 row count
+//	[5:7]  uint16 column count
+//	[7:..] column count × uint32 segment offsets (from the page start)
+//	then one self-contained segment per column, zero-padded to PageSize.
+//
+// Each segment starts with an encoding tag:
+//
+//	encRaw:   per-datum kind tag + payload, exactly the v1 datum stream —
+//	          the fallback for columns mixing value classes.
+//	encInt:   kind runs, int64 min, delta width ∈ {0,1,2,4,8}, then one
+//	          little-endian unsigned delta of that width per row
+//	          (frame-of-reference; NULL rows store delta 0). Covers int,
+//	          date and bool rows — anything carried in the int64 payload.
+//	encFloat: kind runs, then one 8-byte little-endian float word per row.
+//	encDict:  kind runs, dictionary byte length, entry count, the sorted
+//	          duplicate-free dictionary (uvarint length + bytes per entry),
+//	          code width ∈ {0,1,2}, then one little-endian code per row.
+//	          Codes index the sorted dictionary, so code order is string
+//	          order and predicates can compare codes instead of strings.
+//
+// Kind runs are the per-column null/kind header: a uvarint run count
+// followed by (kind byte, uvarint length) pairs covering every row. A
+// homogeneous column — the overwhelmingly common case — is one run.
+const (
+	pageMagicV2  = 0xFFFF
+	pageVersion2 = 2
+
+	// pageV2FixedHeader is magic (2) + version (1) + nrows (2) + ncols (2).
+	pageV2FixedHeader = 7
+
+	// maxPageRows keeps the row count below the v2 magic.
+	maxPageRows = 0xFFFE
+)
+
+// Column segment encodings.
+const (
+	encRaw byte = iota
+	encInt
+	encFloat
+	encDict
+)
+
+// pageHeaderSize holds the v1 uint16 row count.
 const pageHeaderSize = 2
 
+// appendDatum appends the v1 encoding of one datum: a kind tag byte, then a
+// kind-specific payload (varint for int/date, 8-byte LE for float, 1 byte
+// for bool, uvarint length + bytes for string, nothing for NULL).
+func appendDatum(buf []byte, d types.Datum) []byte {
+	buf = append(buf, byte(d.K))
+	switch d.K {
+	case types.KindNull:
+	case types.KindInt, types.KindDate:
+		buf = binary.AppendVarint(buf, d.I)
+	case types.KindBool:
+		if d.I != 0 {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case types.KindFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.F))
+	case types.KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(d.S)))
+		buf = append(buf, d.S...)
+	default:
+		panic(fmt.Sprintf("storage: cannot encode kind %v", d.K))
+	}
+	return buf
+}
+
+// datumEncSize returns len(appendDatum(nil, d)) without encoding.
+func datumEncSize(d types.Datum) int {
+	switch d.K {
+	case types.KindNull:
+		return 1
+	case types.KindInt, types.KindDate:
+		return 1 + varintSize(d.I)
+	case types.KindBool:
+		return 2
+	case types.KindFloat:
+		return 9
+	case types.KindString:
+		return 1 + uvarintSize(uint64(len(d.S))) + len(d.S)
+	default:
+		panic(fmt.Sprintf("storage: cannot encode kind %v", d.K))
+	}
+}
+
+// uvarintSize is the encoded length of v as a uvarint.
+func uvarintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// varintSize is the encoded length of v as a zigzag varint.
+func varintSize(v int64) int {
+	return uvarintSize(uint64(v)<<1 ^ uint64(v>>63))
+}
+
 // EncodeRow appends the binary encoding of row r to buf and returns the
-// extended buffer. Layout per column: 1 kind tag byte, then a kind-specific
-// payload (varint for int/date, 8-byte LE for float, 1 byte for bool,
-// uvarint length + bytes for string, nothing for NULL).
+// extended buffer (the v1 row-major datum stream; retained for the v1
+// compatibility path and the row-level tests).
 func EncodeRow(buf []byte, r types.Row) []byte {
 	for _, d := range r {
-		buf = append(buf, byte(d.K))
-		switch d.K {
-		case types.KindNull:
-		case types.KindInt, types.KindDate:
-			buf = binary.AppendVarint(buf, d.I)
-		case types.KindBool:
-			if d.I != 0 {
-				buf = append(buf, 1)
-			} else {
-				buf = append(buf, 0)
-			}
-		case types.KindFloat:
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.F))
-		case types.KindString:
-			buf = binary.AppendUvarint(buf, uint64(len(d.S)))
-			buf = append(buf, d.S...)
-		default:
-			panic(fmt.Sprintf("storage: cannot encode kind %v", d.K))
-		}
+		buf = appendDatum(buf, d)
 	}
 	return buf
 }
@@ -101,46 +193,423 @@ func DecodeRow(data []byte, ncols int) (types.Row, []byte, error) {
 	return r, data, nil
 }
 
-// pageBuilder packs encoded rows into a PageSize byte page.
+// ---------------------------------------------------------------------------
+// v2 page builder
+
+// forWidth returns the frame-of-reference delta width for an unsigned span.
+func forWidth(span uint64) int {
+	switch {
+	case span == 0:
+		return 0
+	case span <= 0xFF:
+		return 1
+	case span <= 0xFFFF:
+		return 2
+	case span <= 0xFFFFFFFF:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// dictCodeWidth returns the per-row code width for a dictionary of n entries.
+func dictCodeWidth(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n <= 1<<8:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// uvarUB3 is the upper bound the size accounting charges for any uvarint
+// whose value is at most ~2^21 (run counts, dictionary sizes and byte
+// lengths all fit a page, so three bytes always cover them).
+const uvarUB3 = 3
+
+// colBuilder accumulates one column of the page being built, tracking enough
+// incremental state to bound the column's encoded size after every row.
+type colBuilder struct {
+	kinds  []types.Kind
+	ints   []int64
+	floats []float64
+	strs   []string
+
+	// Candidate validity: a typed encoding applies while every non-NULL row
+	// belongs to its value class. NULLs never invalidate a candidate (the
+	// kind runs carry them).
+	intOK   bool
+	floatOK bool
+	strOK   bool
+
+	haveInt    bool  // at least one int-class row seen
+	minI, maxI int64 // frame of reference over int-class rows
+
+	dict      map[string]int32 // distinct strings (codes assigned at finish)
+	dictBytes int              // encoded size of the dictionary region
+
+	nruns    int // kind runs so far
+	lastKind types.Kind
+
+	rawBytes int // exact v1 datum-stream size of every row so far
+}
+
+func (c *colBuilder) reset() {
+	c.kinds = c.kinds[:0]
+	c.ints = c.ints[:0]
+	c.floats = c.floats[:0]
+	clear(c.strs)
+	c.strs = c.strs[:0]
+	c.intOK, c.floatOK, c.strOK = true, true, true
+	c.haveInt = false
+	c.minI, c.maxI = 0, 0
+	clear(c.dict)
+	c.dictBytes = 0
+	c.nruns = 0
+	c.rawBytes = 0
+}
+
+// colProspect is the would-be state of a column after appending one more
+// datum, computed without mutating the builder so a row that does not fit
+// is rejected with no rollback.
+type colProspect struct {
+	intOK, floatOK, strOK bool
+	haveInt               bool
+	minI, maxI            int64
+	ndict                 int
+	dictBytes             int
+	nruns                 int
+	rawBytes              int
+	dictAdd               bool // d.S joins the dictionary on commit
+}
+
+// prospect computes the column state after appending d.
+func (c *colBuilder) prospect(d types.Datum) colProspect {
+	p := colProspect{
+		intOK: c.intOK, floatOK: c.floatOK, strOK: c.strOK,
+		haveInt: c.haveInt, minI: c.minI, maxI: c.maxI,
+		ndict: len(c.dict), dictBytes: c.dictBytes,
+		nruns: c.nruns, rawBytes: c.rawBytes + datumEncSize(d),
+	}
+	if c.nruns == 0 || d.K != c.lastKind {
+		p.nruns++
+	}
+	switch d.K {
+	case types.KindInt, types.KindDate, types.KindBool:
+		p.floatOK, p.strOK = false, false
+		if !p.haveInt {
+			p.haveInt, p.minI, p.maxI = true, d.I, d.I
+		} else {
+			if d.I < p.minI {
+				p.minI = d.I
+			}
+			if d.I > p.maxI {
+				p.maxI = d.I
+			}
+		}
+	case types.KindFloat:
+		p.intOK, p.strOK = false, false
+	case types.KindString:
+		p.intOK, p.floatOK = false, false
+		if _, ok := c.dict[d.S]; !ok {
+			p.dictAdd = true
+			p.ndict++
+			p.dictBytes += uvarintSize(uint64(len(d.S))) + len(d.S)
+		}
+	case types.KindNull:
+		// NULLs ride in the kind runs of any encoding.
+	}
+	return p
+}
+
+// sizeUB bounds the encoded size of the column for n rows under the
+// encoding finish() will choose for this state. Every uvarint is charged
+// its page-bounded maximum, so the exact encoding never exceeds the bound.
+func (p colProspect) sizeUB(n int) int {
+	runs := uvarUB3 + p.nruns*(1+uvarUB3)
+	switch {
+	case p.intOK:
+		span := uint64(p.maxI) - uint64(p.minI)
+		return 1 + runs + 8 + 1 + n*forWidth(span)
+	case p.floatOK:
+		return 1 + runs + n*8
+	case p.strOK:
+		return 1 + runs + uvarUB3 + uvarUB3 + p.dictBytes + 1 + n*dictCodeWidth(p.ndict)
+	default:
+		return 1 + p.rawBytes
+	}
+}
+
+// commit applies a prospect and stores the datum's payload.
+func (c *colBuilder) commit(d types.Datum, p colProspect) {
+	c.intOK, c.floatOK, c.strOK = p.intOK, p.floatOK, p.strOK
+	c.haveInt, c.minI, c.maxI = p.haveInt, p.minI, p.maxI
+	c.nruns, c.lastKind = p.nruns, d.K
+	c.rawBytes = p.rawBytes
+	c.dictBytes = p.dictBytes
+	if p.dictAdd {
+		if c.dict == nil {
+			c.dict = make(map[string]int32)
+		}
+		c.dict[d.S] = 0
+	}
+	c.kinds = append(c.kinds, d.K)
+	var i int64
+	var f float64
+	var s string
+	switch d.K {
+	case types.KindInt, types.KindDate, types.KindBool:
+		i = d.I
+	case types.KindFloat:
+		f = d.F
+	case types.KindString:
+		s = d.S
+	}
+	c.ints = append(c.ints, i)
+	c.floats = append(c.floats, f)
+	c.strs = append(c.strs, s)
+}
+
+// appendKindRuns encodes the column's kind/null run header.
+func appendKindRuns(buf []byte, kinds []types.Kind) []byte {
+	nruns := 0
+	for i := 0; i < len(kinds); {
+		j := i + 1
+		for j < len(kinds) && kinds[j] == kinds[i] {
+			j++
+		}
+		nruns++
+		i = j
+	}
+	buf = binary.AppendUvarint(buf, uint64(nruns))
+	for i := 0; i < len(kinds); {
+		j := i + 1
+		for j < len(kinds) && kinds[j] == kinds[i] {
+			j++
+		}
+		buf = append(buf, byte(kinds[i]))
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		i = j
+	}
+	return buf
+}
+
+// encode appends the column's chosen segment encoding.
+func (c *colBuilder) encode(buf []byte) []byte {
+	switch {
+	case c.intOK:
+		buf = append(buf, encInt)
+		buf = appendKindRuns(buf, c.kinds)
+		min := c.minI
+		if !c.haveInt {
+			min = 0
+		}
+		width := forWidth(uint64(c.maxI) - uint64(c.minI))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(min))
+		buf = append(buf, byte(width))
+		for i, k := range c.kinds {
+			var delta uint64
+			switch k {
+			case types.KindInt, types.KindDate, types.KindBool:
+				delta = uint64(c.ints[i]) - uint64(min)
+			}
+			switch width {
+			case 0:
+			case 1:
+				buf = append(buf, byte(delta))
+			case 2:
+				buf = binary.LittleEndian.AppendUint16(buf, uint16(delta))
+			case 4:
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(delta))
+			default:
+				buf = binary.LittleEndian.AppendUint64(buf, delta)
+			}
+		}
+		return buf
+	case c.floatOK:
+		buf = append(buf, encFloat)
+		buf = appendKindRuns(buf, c.kinds)
+		for i, k := range c.kinds {
+			var bits uint64
+			if k == types.KindFloat {
+				bits = math.Float64bits(c.floats[i])
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, bits)
+		}
+		return buf
+	case c.strOK:
+		buf = append(buf, encDict)
+		buf = appendKindRuns(buf, c.kinds)
+		entries := make([]string, 0, len(c.dict))
+		for s := range c.dict {
+			entries = append(entries, s)
+		}
+		sort.Strings(entries)
+		for code, s := range entries {
+			c.dict[s] = int32(code)
+		}
+		buf = binary.AppendUvarint(buf, uint64(c.dictBytes))
+		buf = binary.AppendUvarint(buf, uint64(len(entries)))
+		for _, s := range entries {
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+		width := dictCodeWidth(len(entries))
+		buf = append(buf, byte(width))
+		for i, k := range c.kinds {
+			var code int32
+			if k == types.KindString {
+				code = c.dict[c.strs[i]]
+			}
+			switch width {
+			case 0:
+			case 1:
+				buf = append(buf, byte(code))
+			default:
+				buf = binary.LittleEndian.AppendUint16(buf, uint16(code))
+			}
+		}
+		return buf
+	default:
+		buf = append(buf, encRaw)
+		for i, k := range c.kinds {
+			var d types.Datum
+			switch k {
+			case types.KindInt, types.KindDate, types.KindBool:
+				d = types.Datum{K: k, I: c.ints[i]}
+			case types.KindFloat:
+				d = types.Datum{K: k, F: c.floats[i]}
+			case types.KindString:
+				d = types.Datum{K: k, S: c.strs[i]}
+			default:
+				d = types.Null
+			}
+			buf = appendDatum(buf, d)
+		}
+		return buf
+	}
+}
+
+// pageBuilder accumulates rows column-wise and packs them into a v2
+// column-major page. Row admission is governed by an incremental size upper
+// bound, so finish() always fits in PageSize.
 type pageBuilder struct {
-	buf  []byte
-	rows int
+	cols      []colBuilder
+	rows      int
+	buf       []byte        // encode scratch, reused across pages
+	prospects []colProspect // tryAppend scratch, reused across rows
 }
 
 func newPageBuilder() *pageBuilder {
-	b := &pageBuilder{buf: make([]byte, pageHeaderSize, PageSize)}
-	return b
+	return &pageBuilder{buf: make([]byte, 0, PageSize)}
 }
 
-// tryAppend encodes r into the page; it returns false (leaving the page
-// unchanged) if the encoded row does not fit.
+// tryAppend stages r into the page; it returns false (leaving the page
+// unchanged) if the encoded page would overflow PageSize.
 func (b *pageBuilder) tryAppend(r types.Row) bool {
-	old := len(b.buf)
-	b.buf = EncodeRow(b.buf, r)
-	if len(b.buf) > PageSize {
-		b.buf = b.buf[:old]
+	if b.rows >= maxPageRows {
 		return false
+	}
+	if len(b.cols) < len(r) {
+		// First row of a page fixes the width (heap files are
+		// schema-checked, so every row of a file has the same width).
+		b.cols = append(b.cols, make([]colBuilder, len(r)-len(b.cols))...)
+		for i := range b.cols {
+			if b.cols[i].kinds == nil {
+				b.cols[i].reset()
+			}
+		}
+	}
+	if cap(b.prospects) < len(r) {
+		b.prospects = make([]colProspect, len(r))
+	}
+	prospects := b.prospects[:len(r)]
+	total := pageV2FixedHeader + 4*len(r)
+	n := b.rows + 1
+	for i, d := range r {
+		prospects[i] = b.cols[i].prospect(d)
+		total += prospects[i].sizeUB(n)
+		if total > PageSize {
+			return false
+		}
+	}
+	for i, d := range r {
+		b.cols[i].commit(d, prospects[i])
 	}
 	b.rows++
 	return true
 }
 
-// finish zero-pads to PageSize, stamps the header and returns the page.
+// finish encodes the staged columns into a PageSize page and resets the
+// builder.
 func (b *pageBuilder) finish() []byte {
-	binary.LittleEndian.PutUint16(b.buf[0:2], uint16(b.rows))
+	ncols := len(b.cols)
+	buf := b.buf[:0]
+	buf = binary.LittleEndian.AppendUint16(buf, pageMagicV2)
+	buf = append(buf, pageVersion2)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(b.rows))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(ncols))
+	dirOff := len(buf)
+	for i := 0; i < ncols; i++ {
+		buf = binary.LittleEndian.AppendUint32(buf, 0)
+	}
+	for i := range b.cols {
+		binary.LittleEndian.PutUint32(buf[dirOff+4*i:], uint32(len(buf)))
+		buf = b.cols[i].encode(buf)
+	}
+	if len(buf) > PageSize {
+		panic(fmt.Sprintf("storage: page overflow (%d bytes, %d rows) — size accounting bug", len(buf), b.rows))
+	}
+	b.buf = buf
 	page := make([]byte, PageSize)
-	copy(page, b.buf)
-	b.buf = b.buf[:pageHeaderSize]
+	copy(page, buf)
+	for i := range b.cols {
+		b.cols[i].reset()
+	}
 	b.rows = 0
 	return page
 }
 
 func (b *pageBuilder) empty() bool { return b.rows == 0 }
 
-// DecodePage decodes every row in a page into rows of ncols columns.
-func DecodePage(page []byte, ncols int) ([]types.Row, error) {
+// ---------------------------------------------------------------------------
+// Page decoding
+
+// pageVersion classifies a page by its header: 1 for legacy row-major pages,
+// 2 for column-major pages.
+func pageVersion(page []byte) (int, error) {
 	if len(page) < pageHeaderSize {
-		return nil, fmt.Errorf("storage: short page (%d bytes)", len(page))
+		return 0, fmt.Errorf("storage: short page (%d bytes)", len(page))
+	}
+	if binary.LittleEndian.Uint16(page[0:2]) != pageMagicV2 {
+		return 1, nil
+	}
+	if len(page) < pageV2FixedHeader {
+		return 0, fmt.Errorf("storage: short v2 page (%d bytes)", len(page))
+	}
+	if v := page[2]; v != pageVersion2 {
+		return 0, fmt.Errorf("storage: unknown page format version %d", v)
+	}
+	return 2, nil
+}
+
+// DecodePage decodes every row of a page (either format) into rows of ncols
+// columns.
+func DecodePage(page []byte, ncols int) ([]types.Row, error) {
+	v, err := pageVersion(page)
+	if err != nil {
+		return nil, err
+	}
+	if v == 2 {
+		cb, err := decodePageColsV2(page, ncols)
+		if err != nil {
+			return nil, err
+		}
+		rows := cb.Rows()
+		cb.Release()
+		return rows, nil
 	}
 	n := int(binary.LittleEndian.Uint16(page[0:2]))
 	data := page[pageHeaderSize:]
@@ -158,13 +627,18 @@ func DecodePage(page []byte, ncols int) ([]types.Row, error) {
 }
 
 // DecodePageCols decodes every row of a page column-wise into a pooled
-// ColBatch of ncols columns, with one reference held by the caller. The
-// page encoding is row-major; the decoder transposes it into the typed
-// column vectors so the batch can be cached per pool residency and shared
-// by every vectorized consumer.
+// ColBatch of ncols columns, with one reference held by the caller. v2
+// pages decode segment-at-a-time — near-memcpy bulk reads per column, with
+// string columns copied once into a shared per-page buffer whose dictionary
+// entries back the string headers (no per-string allocation). v1 row-major
+// pages are transposed datum-by-datum (the compatibility path).
 func DecodePageCols(page []byte, ncols int) (*vec.ColBatch, error) {
-	if len(page) < pageHeaderSize {
-		return nil, fmt.Errorf("storage: short page (%d bytes)", len(page))
+	v, err := pageVersion(page)
+	if err != nil {
+		return nil, err
+	}
+	if v == 2 {
+		return decodePageColsV2(page, ncols)
 	}
 	n := int(binary.LittleEndian.Uint16(page[0:2]))
 	data := page[pageHeaderSize:]
@@ -182,4 +656,245 @@ func DecodePageCols(page []byte, ncols int) (*vec.ColBatch, error) {
 	}
 	b.Seal(n)
 	return b, nil
+}
+
+// decodeKindRuns applies a column's kind/null run header to v and returns
+// the remaining bytes. Runs must cover exactly nrows rows, and every run's
+// kind must be in the allowed set (a bit per Kind value) — the typed
+// segment payloads only cover their own value class, so a foreign kind in
+// the header would break the Vec payload invariant.
+func decodeKindRuns(data []byte, nrows int, v *vec.Vec, allowed uint8) ([]byte, error) {
+	nruns, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("bad kind-run count")
+	}
+	data = data[n:]
+	total := 0
+	for i := uint64(0); i < nruns; i++ {
+		if len(data) < 1 {
+			return nil, fmt.Errorf("truncated kind run")
+		}
+		k := types.Kind(data[0])
+		if k > types.KindBool || allowed&(1<<k) == 0 {
+			return nil, fmt.Errorf("kind %d not valid for this segment encoding", k)
+		}
+		data = data[1:]
+		cnt, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad kind-run length")
+		}
+		data = data[n:]
+		if cnt > uint64(nrows) {
+			return nil, fmt.Errorf("kind run of %d rows, page has %d", cnt, nrows)
+		}
+		if total += int(cnt); total > nrows {
+			return nil, fmt.Errorf("kind runs cover %d rows, page has %d", total, nrows)
+		}
+		v.AppendKindRun(k, int(cnt))
+	}
+	if total != nrows {
+		return nil, fmt.Errorf("kind runs cover %d rows, page has %d", total, nrows)
+	}
+	return data, nil
+}
+
+// Allowed kind sets per segment encoding: the int64-payload kinds for
+// frame-of-reference segments, float for float words, string for
+// dictionary codes; NULL rides in any of them.
+const (
+	kindsInt   = 1<<types.KindNull | 1<<types.KindInt | 1<<types.KindDate | 1<<types.KindBool
+	kindsFloat = 1<<types.KindNull | 1<<types.KindFloat
+	kindsStr   = 1<<types.KindNull | 1<<types.KindString
+)
+
+// decodePageColsV2 is the column-major bulk decoder.
+func decodePageColsV2(page []byte, ncols int) (*vec.ColBatch, error) {
+	nrows := int(binary.LittleEndian.Uint16(page[3:5]))
+	if nrows == 0 {
+		// An empty page carries no column segments (and no fixed width).
+		b := vec.Get(ncols)
+		b.Seal(0)
+		return b, nil
+	}
+	if pn := int(binary.LittleEndian.Uint16(page[5:7])); pn != ncols {
+		return nil, fmt.Errorf("storage: page has %d columns, schema has %d", pn, ncols)
+	}
+	dirEnd := pageV2FixedHeader + 4*ncols
+	if len(page) < dirEnd {
+		return nil, fmt.Errorf("storage: v2 page directory truncated")
+	}
+	b := vec.Get(ncols)
+	fail := func(c int, err error) (*vec.ColBatch, error) {
+		b.Release()
+		return nil, fmt.Errorf("storage: page column %d: %w", c, err)
+	}
+	for c := 0; c < ncols; c++ {
+		off := int(binary.LittleEndian.Uint32(page[pageV2FixedHeader+4*c:]))
+		if off < dirEnd || off >= len(page) {
+			return fail(c, fmt.Errorf("segment offset %d out of range", off))
+		}
+		if err := decodeSegment(page[off:], nrows, b.Col(c)); err != nil {
+			return fail(c, err)
+		}
+	}
+	b.Seal(nrows)
+	return b, nil
+}
+
+// decodeSegment decodes one column segment into v.
+func decodeSegment(data []byte, nrows int, v *vec.Vec) error {
+	if len(data) < 1 {
+		return fmt.Errorf("truncated segment")
+	}
+	enc := data[0]
+	data = data[1:]
+	if enc == encRaw {
+		for i := 0; i < nrows; i++ {
+			d, rest, err := decodeDatum(data, 0)
+			if err != nil {
+				return err
+			}
+			v.AppendDatum(d)
+			data = rest
+		}
+		return nil
+	}
+	var allowed uint8
+	switch enc {
+	case encInt:
+		allowed = kindsInt
+	case encFloat:
+		allowed = kindsFloat
+	case encDict:
+		allowed = kindsStr
+	default:
+		return fmt.Errorf("unknown segment encoding %d", enc)
+	}
+	data, err := decodeKindRuns(data, nrows, v, allowed)
+	if err != nil {
+		return err
+	}
+	switch enc {
+	case encInt:
+		if len(data) < 9 {
+			return fmt.Errorf("truncated int segment header")
+		}
+		min := int64(binary.LittleEndian.Uint64(data))
+		width := int(data[8])
+		data = data[9:]
+		if len(data) < nrows*width {
+			return fmt.Errorf("truncated int segment payload")
+		}
+		vi := v.BulkI(nrows)
+		switch width {
+		case 0:
+			for i := range vi {
+				vi[i] = min
+			}
+		case 1:
+			for i := range vi {
+				vi[i] = min + int64(data[i])
+			}
+		case 2:
+			for i := range vi {
+				vi[i] = min + int64(binary.LittleEndian.Uint16(data[2*i:]))
+			}
+		case 4:
+			for i := range vi {
+				vi[i] = min + int64(binary.LittleEndian.Uint32(data[4*i:]))
+			}
+		case 8:
+			for i := range vi {
+				vi[i] = min + int64(binary.LittleEndian.Uint64(data[8*i:]))
+			}
+		default:
+			return fmt.Errorf("bad frame-of-reference width %d", width)
+		}
+		return nil
+	case encFloat:
+		if len(data) < nrows*8 {
+			return fmt.Errorf("truncated float segment payload")
+		}
+		vf := v.BulkF(nrows)
+		for i := range vf {
+			vf[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		return nil
+	case encDict:
+		dictLen, n := binary.Uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("bad dictionary byte length")
+		}
+		data = data[n:]
+		ndict, n := binary.Uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("bad dictionary entry count")
+		}
+		data = data[n:]
+		if ndict > uint64(maxPageRows) {
+			return fmt.Errorf("dictionary entry count %d out of range", ndict)
+		}
+		if uint64(len(data)) < dictLen {
+			return fmt.Errorf("truncated dictionary region")
+		}
+		raw := data[:dictLen] // page bytes, only read during this decode
+		// One copy of the whole dictionary region: entries become substrings
+		// sharing this immutable buffer, so a page's strings cost one
+		// allocation plus the (pooled) dictionary slice — not one per row,
+		// and nothing references the recyclable frame bytes afterwards.
+		region := string(raw)
+		data = data[dictLen:]
+		dict := v.BulkDict(int(ndict))
+		pos := 0
+		for i := range dict {
+			l, n := binary.Uvarint(raw[pos:])
+			if n <= 0 || uint64(len(raw)-pos-n) < l {
+				return fmt.Errorf("truncated dictionary entry %d", i)
+			}
+			pos += n
+			dict[i] = region[pos : pos+int(l)]
+			pos += int(l)
+		}
+		if pos != len(region) {
+			return fmt.Errorf("dictionary region has %d trailing bytes", len(region)-pos)
+		}
+		if len(data) < 1 {
+			return fmt.Errorf("truncated code width")
+		}
+		width := int(data[0])
+		data = data[1:]
+		if len(data) < nrows*width {
+			return fmt.Errorf("truncated code payload")
+		}
+		vi := v.BulkI(nrows)
+		switch width {
+		case 0:
+			clear(vi)
+		case 1:
+			for i := range vi {
+				vi[i] = int64(data[i])
+			}
+		case 2:
+			for i := range vi {
+				vi[i] = int64(binary.LittleEndian.Uint16(data[2*i:]))
+			}
+		default:
+			return fmt.Errorf("bad dictionary code width %d", width)
+		}
+		vs := v.BulkS(nrows)
+		for i, kd := range v.Kinds {
+			if kd != types.KindString {
+				vs[i] = ""
+				continue
+			}
+			code := vi[i]
+			if code < 0 || code >= int64(len(dict)) {
+				return fmt.Errorf("dictionary code %d out of range (%d entries)", code, len(dict))
+			}
+			vs[i] = dict[code]
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown segment encoding %d", enc)
+	}
 }

@@ -3,6 +3,7 @@ package storage
 import (
 	"math/rand"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -28,7 +29,9 @@ func TestHeapFileRoundTrip(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	var want []types.Row
 	for i := 0; i < 5000; i++ {
-		row := types.Row{types.NewInt(int64(i)), types.NewString(strings.Repeat("x", r.Intn(30)))}
+		// Unique strings so the page dictionary cannot collapse the column —
+		// the round trip must cross several pages.
+		row := types.Row{types.NewInt(int64(i)), types.NewString(strings.Repeat("x", r.Intn(30)) + strconv.Itoa(i))}
 		want = append(want, row)
 	}
 	if err := tbl.File.Append(want...); err != nil {

@@ -1,0 +1,457 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// buildV1Page packs rows into a legacy row-major page (the format every
+// pre-v2 file on disk uses): a uint16 row count followed by the encoded
+// rows. It fails the test if the rows do not fit one page.
+func buildV1Page(t testing.TB, rows []types.Row) []byte {
+	t.Helper()
+	buf := make([]byte, pageHeaderSize, PageSize)
+	for _, r := range rows {
+		buf = EncodeRow(buf, r)
+	}
+	if len(buf) > PageSize {
+		t.Fatalf("v1 page overflow: %d bytes for %d rows", len(buf), len(rows))
+	}
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(len(rows)))
+	page := make([]byte, PageSize)
+	copy(page, buf)
+	return page
+}
+
+// buildV2Page packs rows through the production builder, failing if any row
+// is rejected.
+func buildV2Page(t testing.TB, rows []types.Row) []byte {
+	t.Helper()
+	b := newPageBuilder()
+	for i, r := range rows {
+		if !b.tryAppend(r) {
+			t.Fatalf("row %d rejected by page builder", i)
+		}
+	}
+	return b.finish()
+}
+
+// decodeBoth decodes a page through both entry points and checks they agree
+// with each other and with want.
+func decodeBoth(t *testing.T, page []byte, want []types.Row, ncols int) {
+	t.Helper()
+	rows, err := DecodePage(page, ncols)
+	if err != nil {
+		t.Fatalf("DecodePage: %v", err)
+	}
+	cb, err := DecodePageCols(page, ncols)
+	if err != nil {
+		t.Fatalf("DecodePageCols: %v", err)
+	}
+	defer cb.Release()
+	if len(rows) != len(want) || cb.Len() != len(want) {
+		t.Fatalf("row counts: rows=%d cols=%d want=%d", len(rows), cb.Len(), len(want))
+	}
+	for i := range want {
+		for c := 0; c < ncols; c++ {
+			if got := rows[i][c]; got.K != want[i][c].K || !got.Equal(want[i][c]) {
+				t.Fatalf("row %d col %d: DecodePage %v (%v), want %v (%v)",
+					i, c, got, got.K, want[i][c], want[i][c].K)
+			}
+			if got := cb.Col(c).Datum(i); got.K != want[i][c].K || !got.Equal(want[i][c]) {
+				t.Fatalf("row %d col %d: DecodePageCols %v (%v), want %v (%v)",
+					i, c, got, got.K, want[i][c], want[i][c].K)
+			}
+		}
+	}
+}
+
+// TestPageV2RoundTripProperty is the v2 encode→decode round trip over random
+// schemas and pages: mixed kinds, NULLs, and string columns from single-value
+// to fully unique all decode back exactly.
+func TestPageV2RoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		schema, rows := randSchemaRows(r)
+		b := newPageBuilder()
+		var inPage []types.Row
+		for _, row := range rows {
+			if !b.tryAppend(row) {
+				break
+			}
+			inPage = append(inPage, row)
+		}
+		page := b.finish()
+		if v, err := pageVersion(page); err != nil || v != 2 {
+			t.Fatalf("trial %d: builder wrote version %d (%v)", trial, v, err)
+		}
+		decodeBoth(t, page, inPage, schema.Len())
+	}
+}
+
+// TestPageV2TargetedShapes pins the encoding corners: frame-of-reference
+// widths from constant to full 64-bit spans, negative ranges, single-value
+// and fully-unique dictionaries, all-NULL columns, and mixed-kind columns
+// that must fall back to the raw encoding.
+func TestPageV2TargetedShapes(t *testing.T) {
+	mk := func(n int, f func(i int) types.Row) []types.Row {
+		rows := make([]types.Row, n)
+		for i := range rows {
+			rows[i] = f(i)
+		}
+		return rows
+	}
+	cases := map[string][]types.Row{
+		"constant-int": mk(100, func(i int) types.Row {
+			return types.Row{types.NewInt(42)}
+		}),
+		"byte-span": mk(100, func(i int) types.Row {
+			return types.Row{types.NewInt(int64(1000 + i%200))}
+		}),
+		"negative-span": mk(100, func(i int) types.Row {
+			return types.Row{types.NewInt(int64(-50 + i))}
+		}),
+		"full-span": mk(50, func(i int) types.Row {
+			if i%2 == 0 {
+				return types.Row{types.NewInt(-(1 << 62))}
+			}
+			return types.Row{types.NewInt(1 << 62)}
+		}),
+		"dates-and-bools": mk(100, func(i int) types.Row {
+			return types.Row{types.NewDate(int64(18000 + i)), types.NewBool(i%3 == 0)}
+		}),
+		"mixed-int-date": mk(100, func(i int) types.Row {
+			if i%2 == 0 {
+				return types.Row{types.NewInt(int64(i))}
+			}
+			return types.Row{types.NewDate(int64(i))}
+		}),
+		"single-value-string": mk(100, func(i int) types.Row {
+			return types.Row{types.NewString("only")}
+		}),
+		"unique-strings": mk(100, func(i int) types.Row {
+			return types.Row{types.NewString(fmt.Sprintf("key-%04d", i*7919%1000))}
+		}),
+		"empty-strings": mk(20, func(i int) types.Row {
+			if i%2 == 0 {
+				return types.Row{types.NewString("")}
+			}
+			return types.Row{types.NewString("x")}
+		}),
+		"nulls-in-ints": mk(100, func(i int) types.Row {
+			if i%5 == 0 {
+				return types.Row{types.Null}
+			}
+			return types.Row{types.NewInt(int64(i))}
+		}),
+		"nulls-in-strings": mk(100, func(i int) types.Row {
+			if i%4 == 0 {
+				return types.Row{types.Null}
+			}
+			return types.Row{types.NewString(fmt.Sprintf("s%d", i%7))}
+		}),
+		"all-null": mk(60, func(i int) types.Row {
+			return types.Row{types.Null, types.Null}
+		}),
+		"mixed-classes-raw": mk(60, func(i int) types.Row {
+			switch i % 3 {
+			case 0:
+				return types.Row{types.NewInt(int64(i))}
+			case 1:
+				return types.Row{types.NewFloat(float64(i))}
+			default:
+				return types.Row{types.NewString("s")}
+			}
+		}),
+		"floats-with-nulls": mk(100, func(i int) types.Row {
+			if i%6 == 0 {
+				return types.Row{types.Null}
+			}
+			return types.Row{types.NewFloat(float64(i) * 1.5)}
+		}),
+	}
+	for name, rows := range cases {
+		t.Run(name, func(t *testing.T) {
+			decodeBoth(t, buildV2Page(t, rows), rows, len(rows[0]))
+		})
+	}
+}
+
+// TestPageV1BackwardCompat verifies that legacy row-major pages decode
+// through both entry points exactly as before the format change.
+func TestPageV1BackwardCompat(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		_, rows := randSchemaRows(r)
+		// Keep the page within bounds: take a prefix that fits v1.
+		var inPage []types.Row
+		size := pageHeaderSize
+		for _, row := range rows {
+			size += len(EncodeRow(nil, row))
+			if size > PageSize {
+				break
+			}
+			inPage = append(inPage, row)
+		}
+		if len(inPage) == 0 {
+			continue
+		}
+		ncols := len(inPage[0])
+		page := buildV1Page(t, inPage)
+		if v, err := pageVersion(page); err != nil || v != 1 {
+			t.Fatalf("trial %d: v1 page classified as version %d (%v)", trial, v, err)
+		}
+		decodeBoth(t, page, inPage, ncols)
+	}
+}
+
+// TestPageV2DictionaryInvariants checks the decoded shape the predicate
+// kernels rely on: string columns come back dictionary-coded with a sorted,
+// duplicate-free dictionary, codes in the int payload, and S[i] equal to
+// Dict[I[i]].
+func TestPageV2DictionaryInvariants(t *testing.T) {
+	vals := []string{"EUROPE", "ASIA", "EUROPE", "AFRICA", "ASIA", "AMERICA"}
+	rows := make([]types.Row, 120)
+	for i := range rows {
+		rows[i] = types.Row{types.NewString(vals[i%len(vals)]), types.NewInt(int64(i))}
+	}
+	cb, err := DecodePageCols(buildV2Page(t, rows), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Release()
+	v := cb.Col(0)
+	if !v.HasDict() || !v.AllStr() {
+		t.Fatalf("string column not dictionary-coded: dict=%d allStr=%v", len(v.Dict), v.AllStr())
+	}
+	if len(v.Dict) != 4 {
+		t.Fatalf("dictionary has %d entries, want 4 distinct", len(v.Dict))
+	}
+	if !sort.StringsAreSorted(v.Dict) {
+		t.Fatalf("dictionary not sorted: %v", v.Dict)
+	}
+	for i := range rows {
+		if v.S[i] != v.Dict[v.I[i]] {
+			t.Fatalf("row %d: S=%q, Dict[code %d]=%q", i, v.S[i], v.I[i], v.Dict[v.I[i]])
+		}
+	}
+	if cb.Col(1).HasDict() {
+		t.Fatal("int column claims a dictionary")
+	}
+}
+
+// TestPageV2CorruptionNoPanic flips bytes across valid v2 pages and checks
+// the decoder either errors or returns — never panics or breaks the Vec
+// payload invariants (materializing every decoded datum would panic if it
+// did).
+func TestPageV2CorruptionNoPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	schema, rows := randSchemaRows(r)
+	b := newPageBuilder()
+	for _, row := range rows {
+		if !b.tryAppend(row) {
+			break
+		}
+	}
+	page := b.finish()
+	ncols := schema.Len()
+	for trial := 0; trial < 5000; trial++ {
+		corrupt := make([]byte, len(page))
+		copy(corrupt, page)
+		for k := 0; k < 1+r.Intn(3); k++ {
+			corrupt[r.Intn(len(corrupt))] ^= byte(1 + r.Intn(255))
+		}
+		cb, err := DecodePageCols(corrupt, ncols)
+		if err != nil {
+			continue
+		}
+		_ = cb.Rows() // must not panic on any surviving decode
+		cb.Release()
+	}
+}
+
+// TestHeapFileV1PagesReadable is the file-level backward-compat check: a
+// heap file whose on-disk pages are v1 (written before the format change)
+// reads back through the buffer pool, the columnar cache and scans.
+func TestHeapFileV1PagesReadable(t *testing.T) {
+	c := newTestCatalog(t, 8)
+	tbl, err := c.CreateTable("legacy", types.NewSchema(
+		types.Column{Name: "k", Kind: types.KindInt},
+		types.Column{Name: "s", Kind: types.KindString},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write v1 pages straight to disk, bypassing the (v2) builder.
+	var want []types.Row
+	const perPage = 200
+	for p := 0; p < 3; p++ {
+		rows := make([]types.Row, perPage)
+		for i := range rows {
+			id := p*perPage + i
+			rows[i] = types.Row{types.NewInt(int64(id)), types.NewString(strings.Repeat("v", id%13))}
+		}
+		if err := c.Disk().WritePage(tbl.File.ID(), p, buildV1Page(t, rows)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rows...)
+	}
+	// Reading goes through HeapFile page accounting, so mirror the pages by
+	// decoding them through the pool directly.
+	for p := 0; p < 3; p++ {
+		cb, err := tbl.File.PageCols(p)
+		if err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+		rows, err := tbl.File.Page(p)
+		if err != nil {
+			t.Fatalf("page %d rows: %v", p, err)
+		}
+		for i := 0; i < cb.Len(); i++ {
+			wantRow := want[p*perPage+i]
+			if !rows[i].Equal(wantRow) || !cb.Row(i).Equal(wantRow) {
+				t.Fatalf("page %d row %d: got %v / %v, want %v", p, i, rows[i], cb.Row(i), wantRow)
+			}
+		}
+		cb.Release()
+	}
+}
+
+// TestPageBuilderMixedFilesCoexist interleaves v1 and v2 pages in one file:
+// the per-page version byte, not file state, selects the decode path.
+func TestPageBuilderMixedFilesCoexist(t *testing.T) {
+	rowsA := make([]types.Row, 50)
+	for i := range rowsA {
+		rowsA[i] = types.Row{types.NewInt(int64(i))}
+	}
+	rowsB := make([]types.Row, 50)
+	for i := range rowsB {
+		rowsB[i] = types.Row{types.NewInt(int64(100 + i))}
+	}
+	v1 := buildV1Page(t, rowsA)
+	v2 := buildV2Page(t, rowsB)
+	decodeBoth(t, v1, rowsA, 1)
+	decodeBoth(t, v2, rowsB, 1)
+}
+
+var sinkCB *vec.ColBatch
+
+// BenchmarkDecodePageColsV2Ints measures the bulk decode of a fully
+// int/date/float page (the SSB fact-table shape) — the near-memcpy path.
+// Steady state must be allocation-free beyond the pooled batch.
+func BenchmarkDecodePageColsV2Ints(b *testing.B) {
+	rows := make([]types.Row, 0, 4096)
+	for i := 0; ; i++ {
+		r := types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 7)),
+			types.NewDate(int64(18000 + i%365)),
+			types.NewFloat(float64(i) * 0.25),
+		}
+		rows = append(rows, r)
+		if len(rows) == cap(rows) {
+			break
+		}
+	}
+	pb := newPageBuilder()
+	n := 0
+	for _, r := range rows {
+		if !pb.tryAppend(r) {
+			break
+		}
+		n++
+	}
+	page := pb.finish()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb, err := DecodePageCols(page, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkCB = cb
+		cb.Release()
+	}
+	b.ReportMetric(float64(n), "tuples/op")
+}
+
+// BenchmarkDecodePageColsV2Strings measures the dictionary decode: one
+// region copy plus a header gather per page, O(1) allocations per page
+// rather than one per string.
+func BenchmarkDecodePageColsV2Strings(b *testing.B) {
+	cities := make([]string, 40)
+	for i := range cities {
+		cities[i] = fmt.Sprintf("CITY-%02d-%s", i, strings.Repeat("x", 10))
+	}
+	var rows []types.Row
+	pb := newPageBuilder()
+	n := 0
+	for i := 0; ; i++ {
+		r := types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(cities[i%len(cities)]),
+			types.NewString(cities[(i*13)%len(cities)]),
+		}
+		rows = append(rows, r)
+		if !pb.tryAppend(r) {
+			break
+		}
+		n++
+	}
+	_ = rows
+	page := pb.finish()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb, err := DecodePageCols(page, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkCB = cb
+		cb.Release()
+	}
+	b.ReportMetric(float64(n), "tuples/op")
+}
+
+// BenchmarkDecodePageColsV1 is the legacy transposing decode of the same
+// logical rows as the Strings benchmark — the before/after baseline for the
+// format change.
+func BenchmarkDecodePageColsV1(b *testing.B) {
+	cities := make([]string, 40)
+	for i := range cities {
+		cities[i] = fmt.Sprintf("CITY-%02d-%s", i, strings.Repeat("x", 10))
+	}
+	var rows []types.Row
+	size := pageHeaderSize
+	for i := 0; ; i++ {
+		r := types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(cities[i%len(cities)]),
+			types.NewString(cities[(i*13)%len(cities)]),
+		}
+		size += len(EncodeRow(nil, r))
+		if size > PageSize {
+			break
+		}
+		rows = append(rows, r)
+	}
+	page := buildV1Page(b, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb, err := DecodePageCols(page, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkCB = cb
+		cb.Release()
+	}
+	b.ReportMetric(float64(len(rows)), "tuples/op")
+}

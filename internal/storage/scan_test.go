@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -10,7 +11,9 @@ import (
 )
 
 // loadNumbered loads n rows keyed 0..n-1 with a padding column so that the
-// table spans many pages (~300 rows per 32 KiB page).
+// table spans many pages (~300 rows per 32 KiB page). The pad is unique per
+// row so the columnar page format cannot dictionary-compress it away — these
+// tests are about multi-page scan mechanics, not about packing.
 func loadNumbered(t *testing.T, c *Catalog, name string, n int) *Table {
 	t.Helper()
 	schema := types.NewSchema(
@@ -21,10 +24,10 @@ func loadNumbered(t *testing.T, c *Catalog, name string, n int) *Table {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pad := types.NewString(strings.Repeat("p", 100))
+	pad := strings.Repeat("p", 100)
 	rows := make([]types.Row, n)
 	for i := range rows {
-		rows[i] = types.Row{types.NewInt(int64(i)), pad}
+		rows[i] = types.Row{types.NewInt(int64(i)), types.NewString(pad + strconv.Itoa(i))}
 	}
 	if err := tbl.File.Append(rows...); err != nil {
 		t.Fatal(err)

@@ -24,9 +24,12 @@
 // per resident page frame (one ref), hands extra refs to readers
 // (HeapFile.PageCols), and the batch returns to the pool when the last ref
 // drops. Strings are stored as Go string headers ([]string), not offsets
-// into the page bytes, so rows materialized from a batch stay valid after
-// the batch is recycled — the string contents are independent immutable
-// heap objects.
+// into recyclable buffers, so rows materialized from a batch stay valid
+// after the batch is recycled — the string contents are immutable heap
+// objects (for columns decoded from a v2 page, substrings of one shared
+// per-page dictionary buffer). Dictionary-coded columns additionally carry
+// the page's sorted dictionary in Dict with per-row codes in I, enabling
+// predicate kernels that compare ints instead of strings.
 package vec
 
 import (
@@ -56,8 +59,20 @@ type Vec struct {
 	F     []float64
 	S     []string
 
+	// Dict, when non-empty, marks a dictionary-coded string column (the v2
+	// on-disk page format decodes string columns this way): Dict is the
+	// page's sorted, duplicate-free dictionary, I[i] holds row i's code and
+	// S[i] == Dict[I[i]] for every string row. Because the dictionary is
+	// sorted, code order is string order, so predicate kernels translate a
+	// string constant to a code bound once per page and compare ints.
+	Dict []string
+
 	flags uint8
 }
+
+// HasDict reports whether the column is dictionary-coded (codes in I, sorted
+// dictionary in Dict).
+func (v *Vec) HasDict() bool { return len(v.Dict) > 0 }
 
 // Len returns the number of rows appended.
 func (v *Vec) Len() int { return len(v.Kinds) }
@@ -73,13 +88,16 @@ func (v *Vec) AllFloat() bool { return v.flags&flagAllFloat != 0 }
 func (v *Vec) AllStr() bool { return v.flags&flagAllStr != 0 }
 
 // reset empties the vector for reuse, retaining payload capacity. Strings
-// are cleared so a pooled vector does not pin page data alive.
+// and dictionary entries are cleared so a pooled vector does not pin page
+// data alive.
 func (v *Vec) reset() {
 	v.Kinds = v.Kinds[:0]
 	v.I = v.I[:0]
 	v.F = v.F[:0]
 	clear(v.S)
 	v.S = v.S[:0]
+	clear(v.Dict)
+	v.Dict = v.Dict[:0]
 	v.flags = flagAllUniform
 }
 
@@ -124,6 +142,76 @@ func (v *Vec) AppendDatum(d types.Datum) {
 	default: // NULL
 		v.flags = 0
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Bulk builders. The columnar page decoder fills vectors segment-at-a-time:
+// kind tags arrive as runs and payloads as whole typed arrays, so a page
+// decode is a handful of tight loops instead of per-datum appends.
+
+// AppendKindRun appends n copies of kind k to the tag array, updating the
+// uniformity flags once for the whole run. Payload arrays are not touched;
+// the caller follows up with BulkI/BulkF/BulkS fills that cover every row.
+func (v *Vec) AppendKindRun(k types.Kind, n int) {
+	if n <= 0 {
+		return
+	}
+	switch k {
+	case types.KindInt, types.KindDate, types.KindBool:
+		v.flags &^= flagAllFloat | flagAllStr
+	case types.KindFloat:
+		v.flags &^= flagAllInt | flagAllStr
+	case types.KindString:
+		v.flags &^= flagAllInt | flagAllFloat
+	default: // NULL
+		v.flags = 0
+	}
+	for i := 0; i < n; i++ {
+		v.Kinds = append(v.Kinds, k)
+	}
+}
+
+// BulkI resizes the int payload to n rows (reusing capacity) and returns it
+// for direct fills. Every row must be covered by the fill, so the Vec
+// invariant — the payload array for a row's kind covers its index — holds.
+func (v *Vec) BulkI(n int) []int64 {
+	if cap(v.I) < n {
+		v.I = make([]int64, n)
+	} else {
+		v.I = v.I[:n]
+	}
+	return v.I
+}
+
+// BulkF is BulkI for the float payload.
+func (v *Vec) BulkF(n int) []float64 {
+	if cap(v.F) < n {
+		v.F = make([]float64, n)
+	} else {
+		v.F = v.F[:n]
+	}
+	return v.F
+}
+
+// BulkS is BulkI for the string payload.
+func (v *Vec) BulkS(n int) []string {
+	if cap(v.S) < n {
+		v.S = make([]string, n)
+	} else {
+		v.S = v.S[:n]
+	}
+	return v.S
+}
+
+// BulkDict resizes the dictionary to n entries (reusing capacity) and
+// returns it for direct fills.
+func (v *Vec) BulkDict(n int) []string {
+	if cap(v.Dict) < n {
+		v.Dict = make([]string, n)
+	} else {
+		v.Dict = v.Dict[:n]
+	}
+	return v.Dict
 }
 
 // Datum reconstructs row i as a types.Datum. The payload array for the
