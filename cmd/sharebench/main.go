@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -44,6 +45,7 @@ var (
 	poolPages   = flag.Int("pool-pages", 0, "buffer pool pages (0 = scenario default)")
 	workers     = flag.Int("workers", 0, "CJOIN probe workers, scenarios 2-4 (0 = GOMAXPROCS)")
 	jsonPath    = flag.String("json", "", "also write machine-readable results (JSON array) to this path")
+	cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the scenario runs to this path")
 )
 
 // benchRecord is one (scenario, line, axis point) measurement of the JSON
@@ -170,6 +172,21 @@ func main() {
 	if len(run) == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("create -cpuprofile file: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("start CPU profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatalf("close -cpuprofile file: %v", err)
+			}
+		}()
 	}
 	if run["1"] {
 		runScenarioI(ctx)

@@ -4,9 +4,33 @@
 // copies batches into each satellite's FIFO (the serialization point the
 // paper identifies), while the pull-based SPL shares a single immutable
 // batch among all consumers.
+//
+// # Columnar exchange
+//
+// A batch comes in two forms. A row batch (New/Of/Append) carries
+// materialized rows in Rows — the shape aggregate and sort outputs take. A
+// view batch (FromView) carries a columnar view instead: a refcounted
+// vec.ColBatch plus a selection vector naming the batch's rows within it.
+// View batches are how the columnar form of the data survives operator
+// boundaries: a scan publishes (page batch, surviving selection), a filter
+// narrows the selection and republishes the same page batch, a projection
+// republishes a zero-copy column remap, and the CJOIN distributor publishes
+// its routed output columns directly — no rows are built anywhere on that
+// path. Row materialization is lazy (RowsView) and happens at most once per
+// batch, only for consumers that genuinely need rows (sort, hash join, the
+// root drain, push-model clones).
+//
+// View batches are reference-counted so the underlying ColBatch recycles
+// deterministically: the creator's reference transfers downstream with the
+// batch, every additional concurrent consumer (an SPL reader) takes its own
+// via Retain, and each consumer calls Done when finished with the batch.
+// The last Done releases the ColBatch back to its pool. A sealed ColBatch
+// is immutable, so any number of consumers may read the view concurrently
+// through Cols while they hold a reference.
 package batch
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/types"
@@ -17,58 +41,38 @@ import (
 // of the page size in the original page-based exchange.
 const DefaultCapacity = 1024
 
-// colsRef pairs a columnar view with the selection mapping the batch's rows
-// into it: Rows[i] is row Sel[i] of Cols (Sel nil = identity).
-type colsRef struct {
-	cb  *vec.ColBatch
-	sel []int32
+// view is the columnar backing of a view batch.
+type view struct {
+	cb  *vec.ColBatch // the batch owns references counted by refs
+	sel []int32       // rows of the batch within cb; nil = every row of cb
+
+	// back optionally supplies a shared full-width row view of cb (row i of
+	// back is row i of cb) for lazy materialization — scans pass the buffer
+	// pool's per-frame row cache so row-consuming plans keep amortizing row
+	// materialization across sweeps and queries. May return nil, in which
+	// case rows materialize from cb directly.
+	back func() []types.Row
+
+	refs atomic.Int32 // outstanding batch references
+
+	mu   sync.Mutex // guards lazy row materialization
+	rows []types.Row
+	mat  bool
 }
 
 // Batch is a page of rows. Once a producer hands a batch downstream the
 // batch and its rows must be treated as immutable; this is what makes the
 // zero-copy SPL hand-off safe.
-//
-// A batch may additionally carry a columnar view of the same rows (SetCols),
-// which exactly one downstream consumer can claim with TakeCols to run
-// vectorized kernels instead of the row loop. The claim is an atomic swap,
-// so SPL-shared batches with several concurrent consumers stay safe: one
-// consumer vectorizes, the rest fall back to Rows. Clones do not carry the
-// view.
 type Batch struct {
+	// Rows is the materialized row view of a row batch. For view batches it
+	// stays nil — consumers use RowsView (or Cols). Test and bulk-load code
+	// may keep building row batches and reading Rows directly.
 	Rows []types.Row
 
-	cols atomic.Pointer[colsRef]
+	view *view
 }
 
-// SetCols attaches a columnar view: Rows[i] is row sel[i] of cb (sel nil
-// means Rows[i] is row i). Ownership of the caller's reference on cb moves
-// into the batch; whoever claims the view via TakeCols must Release it. An
-// unclaimed view is reclaimed by the garbage collector (the batch pool never
-// sees it), so dropping a batch without consuming the view is safe.
-func (b *Batch) SetCols(cb *vec.ColBatch, sel []int32) {
-	b.cols.Store(&colsRef{cb: cb, sel: sel})
-}
-
-// TakeCols claims the columnar view, transferring the reference (and the
-// obligation to Release it) to the caller. Every claim after the first — or
-// on a batch that never had a view — returns nil.
-func (b *Batch) TakeCols() (*vec.ColBatch, []int32) {
-	if ref := b.cols.Swap(nil); ref != nil {
-		return ref.cb, ref.sel
-	}
-	return nil, nil
-}
-
-// ReleaseCols claims and immediately releases the columnar view, for
-// consumers that only need the rows. A no-op when the view is absent or
-// already claimed.
-func (b *Batch) ReleaseCols() {
-	if cb, _ := b.TakeCols(); cb != nil {
-		cb.Release()
-	}
-}
-
-// New returns an empty batch with the given row capacity.
+// New returns an empty row batch with the given row capacity.
 func New(capacity int) *Batch {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
@@ -76,28 +80,137 @@ func New(capacity int) *Batch {
 	return &Batch{Rows: make([]types.Row, 0, capacity)}
 }
 
-// Of builds a batch from the given rows (testing convenience).
+// Of builds a row batch from the given rows (testing convenience).
 func Of(rows ...types.Row) *Batch { return &Batch{Rows: rows} }
 
-// Len returns the number of rows in the batch.
-func (b *Batch) Len() int { return len(b.Rows) }
+// FromView builds a view batch: row i of the batch is row sel[i] of cb (sel
+// nil means row i is row i of cb). Ownership of the caller's reference on cb
+// moves into the batch; the batch releases cb when its own reference count
+// (the implicit creator reference plus any Retains) drops to zero via Done.
+// back, when non-nil, supplies a shared full-width row view of cb for lazy
+// materialization (may return nil on failure; rows then come from cb).
+func FromView(cb *vec.ColBatch, sel []int32, back func() []types.Row) *Batch {
+	v := &view{cb: cb, sel: sel, back: back}
+	v.refs.Store(1)
+	return &Batch{view: v}
+}
 
-// Append adds a row to the batch.
+// Retain takes an additional reference on a view batch for a new concurrent
+// consumer. Every Retain must be paired with a Done. No-op on row batches.
+func (b *Batch) Retain() {
+	if b.view != nil {
+		b.view.refs.Add(1)
+	}
+}
+
+// Done releases one reference on a view batch; the last release returns the
+// underlying ColBatch to its pool. A consumer must not touch the batch (or
+// slices obtained from Cols) after its Done. No-op on row batches.
+func (b *Batch) Done() {
+	v := b.view
+	if v == nil {
+		return
+	}
+	switch n := v.refs.Add(-1); {
+	case n == 0:
+		v.cb.Release()
+	case n < 0:
+		panic("batch: Done without matching reference")
+	}
+}
+
+// Cols returns the columnar view of a view batch: the column batch and the
+// ascending selection naming this batch's rows within it (nil = every row).
+// ok is false for row batches. The view is read-only and valid while the
+// caller holds a reference (i.e. until its Done); concurrent consumers may
+// all read it.
+func (b *Batch) Cols() (cb *vec.ColBatch, sel []int32, ok bool) {
+	if b.view == nil {
+		return nil, nil, false
+	}
+	return b.view.cb, b.view.sel, true
+}
+
+// Backing returns the batch's backing-row provider (see FromView), for
+// operators that republish a narrowed view of the same column batch.
+func (b *Batch) Backing() func() []types.Row {
+	if b.view == nil {
+		return nil
+	}
+	return b.view.back
+}
+
+// RowsView returns the batch's rows, materializing them from the columnar
+// view on first use (at most once per batch, shared by all consumers). The
+// caller must hold a reference. The returned rows are immutable and remain
+// valid after the batch's ColBatch is recycled — datums copy out payloads
+// and string bytes are independent heap objects.
+func (b *Batch) RowsView() []types.Row {
+	v := b.view
+	if v == nil {
+		return b.Rows
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.mat {
+		return v.rows
+	}
+	var back []types.Row
+	if v.back != nil {
+		back = v.back()
+	}
+	sel := v.sel
+	switch {
+	case back != nil && sel != nil:
+		rows := make([]types.Row, len(sel))
+		for i, r := range sel {
+			rows[i] = back[r]
+		}
+		v.rows = rows
+	case back != nil:
+		v.rows = back
+	case sel != nil:
+		rows := make([]types.Row, len(sel))
+		for i, r := range sel {
+			rows[i] = v.cb.Row(int(r))
+		}
+		v.rows = rows
+	default:
+		v.rows = v.cb.Rows()
+	}
+	v.mat = true
+	return v.rows
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int {
+	if v := b.view; v != nil {
+		if v.sel != nil {
+			return len(v.sel)
+		}
+		return v.cb.Len()
+	}
+	return len(b.Rows)
+}
+
+// Append adds a row to a row batch.
 func (b *Batch) Append(r types.Row) { b.Rows = append(b.Rows, r) }
 
-// Full reports whether the batch reached its capacity.
+// Full reports whether a row batch reached its capacity.
 func (b *Batch) Full() bool { return len(b.Rows) == cap(b.Rows) }
 
-// Reset empties the batch, retaining capacity. Only valid for batches that
+// Reset empties a row batch, retaining capacity. Only valid for batches that
 // have not been handed downstream.
 func (b *Batch) Reset() { b.Rows = b.Rows[:0] }
 
-// Clone returns a deep copy of the batch (fresh row slices; datum payloads
-// copied). This is the per-consumer copy the push-based SP model performs —
-// its cost is exactly the overhead Scenario I measures.
+// Clone returns a deep row-batch copy of the batch (fresh row slices; datum
+// payloads copied). This is the per-consumer copy the push-based SP model
+// performs — its cost is exactly the overhead Scenario I measures. The
+// caller must hold a reference on a view batch while cloning.
 func (b *Batch) Clone() *Batch {
-	c := &Batch{Rows: make([]types.Row, len(b.Rows))}
-	for i, r := range b.Rows {
+	src := b.RowsView()
+	c := &Batch{Rows: make([]types.Row, len(src))}
+	for i, r := range src {
 		c.Rows[i] = r.Clone()
 	}
 	return c

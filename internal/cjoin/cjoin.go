@@ -301,8 +301,13 @@ type subscription struct {
 	canceled atomic.Bool
 	err      error // set before out is closed
 
-	pending *batch.Batch  // distributor-side accumulation
-	arena   []types.Datum // datum backing of pending's rows
+	// Distributor-side accumulation: routed tuples are appended column-wise
+	// into a pooled ColBatch and delivered as a columnar view batch, so the
+	// engine's grouped aggregation above the CJOIN stage consumes the GQP's
+	// output vectorized — no rows are built unless a row-bound consumer
+	// (sort, push-model satellite copies) asks.
+	pendCols *vec.ColBatch
+	pendN    int
 }
 
 // Operator is a running CJOIN pipeline over one fact table and a fixed
@@ -459,15 +464,18 @@ func (op *Operator) Run(ctx context.Context, q *plan.StarQuery, emit func(*batch
 			if err := emit(b); err != nil {
 				sub.canceled.Store(true)
 				close(sub.cancelCh)
-				// Drain until the pipeline retires the query.
-				for range sub.out {
+				// Drain until the pipeline retires the query, recycling the
+				// undeliverable batches.
+				for db := range sub.out {
+					db.Done()
 				}
 				return err
 			}
 		case <-ctx.Done():
 			sub.canceled.Store(true)
 			close(sub.cancelCh)
-			for range sub.out {
+			for db := range sub.out {
+				db.Done()
 			}
 			return ctx.Err()
 		}
@@ -1388,47 +1396,50 @@ func (d *distributor) stash(it *item) {
 	d.ring[int(it.seq)&(len(d.ring)-1)] = it
 }
 
-// deliver flushes sub's pending batch to its output channel. The batch and
-// its arena transfer ownership downstream; a fresh arena is allocated for
-// the next batch (batches handed off are immutable and may be retained).
+// deliver seals sub's pending columns into a view batch and flushes it to
+// the output channel. Ownership of the batch (and its single ColBatch
+// reference) transfers downstream; if the query is canceling or the
+// operator shutting down, the reference is dropped so the columns recycle.
 func (d *distributor) deliver(sub *subscription) {
-	if sub.pending == nil || sub.pending.Len() == 0 {
+	if sub.pendCols == nil || sub.pendN == 0 {
 		return
 	}
-	b := sub.pending
-	sub.pending, sub.arena = nil, nil
+	cb := sub.pendCols
+	cb.Seal(sub.pendN)
+	sub.pendCols, sub.pendN = nil, 0
+	b := batch.FromView(cb, nil, nil)
 	select {
 	case sub.out <- b:
 	case <-sub.cancelCh:
+		b.Done()
 	case <-d.op.closeCh:
+		b.Done()
 	}
 }
 
-// route appends the joined output row for sub, following the route map
-// precomputed at subscription time.
+// route appends the joined output tuple for sub column-wise, following the
+// route map precomputed at subscription time: fact columns copy typed
+// payloads straight from the page batch, dimension payload columns append
+// the joined row's datums.
 func (d *distributor) route(sub *subscription, it *item, ti int) {
 	if sub.canceled.Load() {
 		return
 	}
-	if sub.pending == nil {
-		sub.pending = batch.New(d.op.cfg.BatchSize)
-		sub.arena = make([]types.Datum, 0, d.op.cfg.BatchSize*sub.outWidth)
+	if sub.pendCols == nil {
+		sub.pendCols = vec.Get(sub.outWidth)
 	}
-	a := sub.arena
-	base := len(a)
 	r := int(it.rowIdx[ti])
 	dimBase := r * it.ndims
-	for _, rc := range sub.route {
+	for ci, rc := range sub.route {
 		if rc.dim < 0 {
-			a = append(a, it.cols.Col(rc.col).Datum(r))
+			sub.pendCols.Col(ci).AppendFrom(it.cols.Col(rc.col), r)
 		} else {
-			a = append(a, it.dims[dimBase+rc.dim][rc.col])
+			sub.pendCols.Col(ci).AppendDatum(it.dims[dimBase+rc.dim][rc.col])
 		}
 	}
-	sub.arena = a
-	sub.pending.Append(types.Row(a[base:len(a):len(a)]))
+	sub.pendN++
 	d.routed++
-	if sub.pending.Full() {
+	if sub.pendN >= d.op.cfg.BatchSize {
 		d.deliver(sub)
 	}
 }

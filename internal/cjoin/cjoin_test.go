@@ -155,7 +155,7 @@ func runStar(t *testing.T, op *Operator, q *plan.StarQuery) []types.Row {
 	t.Helper()
 	var rows []types.Row
 	err := op.Run(context.Background(), q, func(b *batch.Batch) error {
-		rows = append(rows, b.Rows...)
+		rows = append(rows, b.RowsView()...)
 		return nil
 	})
 	if err != nil {
@@ -271,7 +271,7 @@ func TestGQPFigure1b(t *testing.T) {
 	collect := func(i int, q *plan.StarQuery) {
 		defer wg.Done()
 		errs[i] = op.Run(context.Background(), q, func(b *batch.Batch) error {
-			results[i] = append(results[i], b.Rows...)
+			results[i] = append(results[i], b.RowsView()...)
 			return nil
 		})
 	}
@@ -526,7 +526,7 @@ func TestRandomQueriesMatchNaive(t *testing.T) {
 			go func(i int, q *plan.StarQuery) {
 				defer wg.Done()
 				err := op.Run(context.Background(), q, func(b *batch.Batch) error {
-					results[i] = append(results[i], b.Rows...)
+					results[i] = append(results[i], b.RowsView()...)
 					return nil
 				})
 				if err != nil {

@@ -104,7 +104,7 @@ func TestParallelConcurrentTemplatesMatchSerial(t *testing.T) {
 		go func(i int, q *plan.StarQuery) {
 			defer wg.Done()
 			errs[i] = op4.Run(context.Background(), q, func(b *batch.Batch) error {
-				results[i] = append(results[i], b.Rows...)
+				results[i] = append(results[i], b.RowsView()...)
 				return nil
 			})
 		}(i, q)

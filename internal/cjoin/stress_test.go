@@ -49,7 +49,7 @@ func TestConcurrentQueriesWithRandomCancels(t *testing.T) {
 			defer cancel()
 			seen := 0
 			err := op.Run(ctx, q, func(b *batch.Batch) error {
-				outcomes[i].rows = append(outcomes[i].rows, b.Rows...)
+				outcomes[i].rows = append(outcomes[i].rows, b.RowsView()...)
 				seen += b.Len()
 				if cancelAfter >= 0 && seen > cancelAfter {
 					outcomes[i].canceled = true
@@ -152,7 +152,7 @@ func TestParallelStressAdmitCancelRetire(t *testing.T) {
 			defer cancel()
 			seen := 0
 			err := op.Run(ctx, q, func(b *batch.Batch) error {
-				outcomes[i].rows = append(outcomes[i].rows, b.Rows...)
+				outcomes[i].rows = append(outcomes[i].rows, b.RowsView()...)
 				seen += b.Len()
 				if cancelAfter >= 0 && seen > cancelAfter {
 					outcomes[i].canceled = true

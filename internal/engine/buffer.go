@@ -17,7 +17,10 @@ var ErrCanceled = errors.New("engine: all consumers canceled")
 
 // Writer is the producer side of an inter-packet buffer.
 type Writer interface {
-	// Put publishes a batch. The batch must not be modified afterwards.
+	// Put publishes a batch. The batch must not be modified afterwards. Put
+	// consumes the producer's batch reference whether it succeeds or fails
+	// (see batch.Batch.Done): on success ownership moves downstream, on
+	// error the reference is released.
 	Put(ctx context.Context, b *batch.Batch) error
 	// Close ends the stream; err != nil propagates the failure to consumers.
 	Close(err error)
@@ -138,7 +141,14 @@ func (m *multiFIFO) Put(ctx context.Context, b *batch.Batch) error {
 	copy(outs, m.outs)
 	m.mu.Unlock()
 
+	// Hold the batch across the loop: the first consumer may process (and
+	// Done) the original while we are still cloning it for satellites.
+	b.Retain()
+	defer b.Done()
+
 	alive := 0
+	delivered := false // the original's reference was handed to a consumer
+	var failure error
 	for i, f := range outs {
 		out := b
 		if i > 0 {
@@ -149,9 +159,19 @@ func (m *multiFIFO) Put(ctx context.Context, b *batch.Batch) error {
 			if err == ErrCanceled {
 				continue // this consumer detached; keep serving the others
 			}
-			return err
+			failure = err
+			break
+		}
+		if i == 0 {
+			delivered = true
 		}
 		alive++
+	}
+	if !delivered {
+		b.Done() // the producer's reference was never transferred
+	}
+	if failure != nil {
+		return failure
 	}
 	if alive == 0 {
 		return ErrCanceled
@@ -184,9 +204,11 @@ type splWriter struct {
 	list *spl.List
 }
 
-// Put appends the batch to the shared pages list.
+// Put appends the batch to the shared pages list. spl.List.Append releases
+// the producer's reference itself on failure.
 func (w splWriter) Put(ctx context.Context, b *batch.Batch) error {
 	if err := ctx.Err(); err != nil {
+		b.Done()
 		return err
 	}
 	if err := w.list.Append(b); err != nil {

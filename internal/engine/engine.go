@@ -162,8 +162,8 @@ func drain(ctx context.Context, root plan.Node, r Reader) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		b.ReleaseCols() // the root consumes rows; recycle an unclaimed view
-		res.Rows = append(res.Rows, b.Rows...)
+		res.Rows = append(res.Rows, b.RowsView()...)
+		b.Done()
 	}
 }
 

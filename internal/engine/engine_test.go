@@ -499,7 +499,7 @@ func TestStaggeredSubmissionMissesPushWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows1 := append(b.Rows, res1.Rows...)
+	rows1 := append(append([]types.Row{}, b.RowsView()...), res1.Rows...)
 	res2, err := drain(ctx, mkPlan(), r2)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// BenchmarkGroupedAggregate measures the per-tuple cost of the grouped
+// aggregation paths on the Scenario III shape (SUM(int) grouped by a
+// low-cardinality key) and on a two-key variant with a dictionary-coded
+// string key:
+//
+//   - line=legacyMap: the pre-PR5 row path — map[uint64][]*aggGroup chains
+//     with per-row HashKey folds and per-row accumulator updates (the
+//     baseline the acceptance criterion compares against).
+//   - line=rows: the same row batches through the open-addressing
+//     groupTable.
+//   - line=cols: view batches through the vectorized path (aggregateCols).
+//
+// The ns/tuple metric is the acceptance number: cols must be >= 2x better
+// than legacyMap. The perf-smoke CI job additionally gates line=cols
+// allocs/op (a per-batch budget — the vectorized path allocates only while
+// the table and scratch warm up, nothing per row).
+func BenchmarkGroupedAggregate(b *testing.B) {
+	const nrows, nbatches = 1024, 32
+	shapes := []struct {
+		name   string
+		styles []colStyle
+		groups []int
+	}{
+		{"keys=int", []colStyle{styleInt, styleInt}, []int{0}},
+		{"keys=int+dict", []colStyle{styleInt, styleDict, styleInt}, []int{0, 1}},
+	}
+	for _, shape := range shapes {
+		valCol := len(shape.styles) - 1
+		aggs := []plan.AggSpec{{Func: plan.AggSum, Arg: expr.C(valCol, "v"), Name: "s"}}
+		groupBy := make([]plan.GroupCol, len(shape.groups))
+		for i, g := range shape.groups {
+			groupBy[i] = plan.GroupCol{Name: fmt.Sprintf("g%d", i), Kind: types.KindInt, Expr: expr.C(g, "g")}
+		}
+		node := plan.NewAggregate(nil, groupBy, aggs)
+
+		// One shared data set; fresh batch shells per iteration are built
+		// outside the timer.
+		r := rand.New(rand.NewSource(11))
+		cbs := make([]*vec.ColBatch, nbatches)
+		rowSets := make([][]types.Row, nbatches)
+		for i := range cbs {
+			cbs[i] = buildRandomBatch(r, nrows, len(shape.styles), shape.styles)
+			rowSets[i] = cbs[i].Rows()
+		}
+		tuples := float64(nrows * nbatches)
+
+		mkRowBatches := func() []*batch.Batch {
+			out := make([]*batch.Batch, nbatches)
+			for i := range out {
+				out[i] = batch.Of(rowSets[i]...)
+			}
+			return out
+		}
+		mkColBatches := func() []*batch.Batch {
+			out := make([]*batch.Batch, nbatches)
+			for i := range out {
+				cbs[i].Retain()
+				out[i] = batch.FromView(cbs[i], nil, nil)
+			}
+			return out
+		}
+
+		b.Run(fmt.Sprintf("line=legacyMap/%s", shape.name), func(b *testing.B) {
+			argCols := []int{valCol}
+			groupIdx := shape.groups
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				legacyMapAggregate(rowSets, groupBy, aggs, argCols, groupIdx)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tuples/float64(b.N), "ns/tuple")
+		})
+		b.Run(fmt.Sprintf("line=rows/%s", shape.name), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				in := mkRowBatches()
+				b.StartTimer()
+				runAggregate(b, node, in)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tuples/float64(b.N), "ns/tuple")
+		})
+		b.Run(fmt.Sprintf("line=cols/%s", shape.name), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				in := mkColBatches()
+				b.StartTimer()
+				runAggregate(b, node, in)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tuples/float64(b.N), "ns/tuple")
+		})
+	}
+}
+
+// legacyMapAggregate reproduces the pre-PR5 fast row path verbatim:
+// map[uint64][]*aggGroup chains keyed by the HashKey fold.
+func legacyMapAggregate(rowSets [][]types.Row, groupBy []plan.GroupCol, aggs []plan.AggSpec, argCols, groupIdx []int) int {
+	type aggGroup struct {
+		key  types.Row
+		accs []aggAcc
+	}
+	groups := make(map[uint64][]*aggGroup)
+	ngroups := 0
+	key := make(types.Row, len(groupBy))
+	for _, rows := range rowSets {
+		for _, r := range rows {
+			h := hashSeed
+			for i, gi := range groupIdx {
+				key[i] = r[gi]
+				h = (h ^ key[i].HashKey()) * 1099511628211
+			}
+			var grp *aggGroup
+			for _, cand := range groups[h] {
+				if cand.key.Equal(key) {
+					grp = cand
+					break
+				}
+			}
+			if grp == nil {
+				grp = &aggGroup{key: key.Clone(), accs: make([]aggAcc, len(aggs))}
+				groups[h] = append(groups[h], grp)
+				ngroups++
+			}
+			for i := range aggs {
+				if argCols[i] < 0 {
+					grp.accs[i].count++
+				} else {
+					grp.accs[i].updateDatum(aggs[i], r[argCols[i]])
+				}
+			}
+		}
+	}
+	return ngroups
+}

@@ -45,12 +45,14 @@ func (e *Engine) runOperator(ctx context.Context, p *Packet, inputs []Reader, w 
 // opScan delivers every row of the table via a circular shared scan, one
 // batch per storage page, applying any pushed-down predicate inside the
 // stage (as QPipe's tscan does). Predicates are evaluated vectorized over
-// the page's columnar cache into a selection vector; the surviving rows are
-// picked from the shared row view and the columnar view rides along on the
-// batch for a downstream operator to claim.
+// the page's columnar cache into a selection vector, and the page is
+// published as a view batch — (column batch, surviving selection) — with no
+// row materialization; rows are built lazily from the buffer pool's shared
+// per-frame row cache only if a row-consuming operator asks.
 func (e *Engine) opScan(ctx context.Context, n *plan.Scan, w Writer, st *Stage) error {
 	cur := n.Table.Attach()
 	defer cur.Close()
+	hf := n.Table.File
 	var vpred expr.VecPred
 	var scr vec.Scratch
 	if n.Pred != nil {
@@ -61,7 +63,7 @@ func (e *Engine) opScan(ctx context.Context, n *plan.Scan, w Writer, st *Stage) 
 			return err
 		}
 		t0 := time.Now()
-		cb, rows, ok, err := cur.NextView()
+		cb, idx, ok, err := cur.NextCols()
 		if err != nil {
 			st.addBusy(time.Since(t0))
 			return err
@@ -72,23 +74,29 @@ func (e *Engine) opScan(ctx context.Context, n *plan.Scan, w Writer, st *Stage) 
 		}
 		var sel []int32
 		if vpred != nil {
-			// The selection buffer is handed downstream on the batch, so it
-			// is allocated per page rather than reused (a reused scratch
-			// would alias live batches).
+			// The selection is handed downstream on the batch, so it is
+			// allocated per page rather than reused (a reused scratch would
+			// alias live batches).
 			sel = vpred(cb, cb.AllSel(), make([]int32, cb.Len()), &scr)
-			kept := make([]types.Row, len(sel))
-			for i, r := range sel {
-				kept[i] = rows[r]
+			if len(sel) == 0 {
+				st.addBusy(time.Since(t0))
+				cb.Release()
+				continue
 			}
-			rows = kept
-		}
-		st.addBusy(time.Since(t0))
-		if len(rows) == 0 {
+		} else if cb.Len() == 0 {
+			st.addBusy(time.Since(t0))
 			cb.Release()
 			continue
 		}
-		b := &batch.Batch{Rows: rows}
-		b.SetCols(cb, sel)
+		st.addBusy(time.Since(t0))
+		pageIdx := idx
+		b := batch.FromView(cb, sel, func() []types.Row {
+			rows, err := hf.Page(pageIdx)
+			if err != nil {
+				return nil // fall back to materializing from the batch
+			}
+			return rows
+		})
 		if err := w.Put(ctx, b); err != nil {
 			return err
 		}
@@ -96,7 +104,9 @@ func (e *Engine) opScan(ctx context.Context, n *plan.Scan, w Writer, st *Stage) 
 }
 
 // opLimit forwards the first N rows, then detaches from its input, which
-// cancels the upstream sub-plan (unless other queries share it).
+// cancels the upstream sub-plan (unless other queries share it). A view
+// batch crossing the cap is forwarded as a truncated view — the columnar
+// form survives the limit.
 func (e *Engine) opLimit(ctx context.Context, n *plan.Limit, in Reader, w Writer, st *Stage) error {
 	remaining := n.N
 	for remaining > 0 {
@@ -108,9 +118,20 @@ func (e *Engine) opLimit(ctx context.Context, n *plan.Limit, in Reader, w Writer
 			return err
 		}
 		t0 := time.Now()
-		b.ReleaseCols()
 		if b.Len() > remaining {
-			b = &batch.Batch{Rows: b.Rows[:remaining]}
+			if cb, sel, ok := b.Cols(); ok {
+				if sel == nil {
+					sel = cb.AllSel()
+				}
+				cb.Retain()
+				nb := batch.FromView(cb, sel[:remaining], b.Backing())
+				b.Done()
+				b = nb
+			} else {
+				nb := &batch.Batch{Rows: b.RowsView()[:remaining]}
+				b.Done()
+				b = nb
+			}
 		}
 		remaining -= b.Len()
 		st.addBusy(time.Since(t0))
@@ -151,15 +172,15 @@ func (em *emitter) flush(ctx context.Context) error {
 }
 
 // opFilter keeps rows satisfying the predicate, compiled once per packet.
-// Batches carrying a columnar view are filtered vectorized: the predicate
-// runs over the batch's selection into a fresh selection, which is then
-// mapped back to the batch's rows.
+// A view batch is filtered entirely in columnar form: the vectorized
+// predicate narrows the batch's selection and the same column batch is
+// republished under the narrowed selection — no rows are touched. Row
+// batches fall back to the compiled scalar predicate and the row emitter.
 func (e *Engine) opFilter(ctx context.Context, n *plan.Filter, in Reader, w Writer, st *Stage) error {
 	em := newEmitter(w, e.cfg.BatchSize)
 	pred := expr.Compile(n.Pred)
 	vpred := expr.CompileVec(n.Pred)
 	var scr vec.Scratch
-	var selBuf []int32
 	var kept []types.Row
 	for {
 		b, err := in.Next(ctx)
@@ -169,34 +190,39 @@ func (e *Engine) opFilter(ctx context.Context, n *plan.Filter, in Reader, w Writ
 		if err != nil {
 			return err
 		}
-		t0 := time.Now()
-		kept = kept[:0]
-		if cb, sel := b.TakeCols(); cb != nil {
+		if cb, sel, ok := b.Cols(); ok {
+			t0 := time.Now()
 			if sel == nil {
 				sel = cb.AllSel()
 			}
-			if cap(selBuf) < len(sel) {
-				selBuf = make([]int32, len(sel))
+			// The output selection is handed downstream; allocated per batch.
+			out := vpred(cb, sel, make([]int32, len(sel)), &scr)
+			st.addBusy(time.Since(t0))
+			if len(out) == 0 {
+				b.Done()
+				continue
 			}
-			res := vpred(cb, sel, selBuf[:len(sel)], &scr)
-			// Rows[i] is row sel[i] of cb and res is an ascending subset of
-			// sel, so a single forward walk recovers the surviving rows.
-			j := 0
-			for _, r := range res {
-				for sel[j] != r {
-					j++
-				}
-				kept = append(kept, b.Rows[j])
+			if err := em.flush(ctx); err != nil { // keep row order across mixed streams
+				b.Done()
+				return err
 			}
-			cb.Release()
-		} else {
-			for _, r := range b.Rows {
-				if pred(r) {
-					kept = append(kept, r)
-				}
+			cb.Retain()
+			nb := batch.FromView(cb, out, b.Backing())
+			b.Done()
+			if err := w.Put(ctx, nb); err != nil {
+				return err
+			}
+			continue
+		}
+		t0 := time.Now()
+		kept = kept[:0]
+		for _, r := range b.RowsView() {
+			if pred(r) {
+				kept = append(kept, r)
 			}
 		}
 		st.addBusy(time.Since(t0))
+		b.Done()
 		for _, r := range kept {
 			if err := em.add(ctx, r); err != nil {
 				return err
@@ -205,9 +231,17 @@ func (e *Engine) opFilter(ctx context.Context, n *plan.Filter, in Reader, w Writ
 	}
 }
 
-// opProject computes the output expressions for every row.
+// opProject computes the output expressions for every row. When every
+// output is a plain column reference and the input is a view batch, the
+// projection is zero-copy: a derived column batch remaps the columns in
+// place (vec.ProjectCols) and is republished under the input's selection.
 func (e *Engine) opProject(ctx context.Context, n *plan.Project, in Reader, w Writer, st *Stage) error {
 	em := newEmitter(w, e.cfg.BatchSize)
+	exprs := make([]expr.Expr, len(n.Cols))
+	for i, c := range n.Cols {
+		exprs[i] = c.Expr
+	}
+	colIdx, colsOnly := expr.ColRefs(exprs)
 	for {
 		b, err := in.Next(ctx)
 		if err == io.EOF {
@@ -216,10 +250,27 @@ func (e *Engine) opProject(ctx context.Context, n *plan.Project, in Reader, w Wr
 		if err != nil {
 			return err
 		}
+		if colsOnly {
+			if cb, sel, ok := b.Cols(); ok {
+				t0 := time.Now()
+				pcb := vec.ProjectCols(cb, colIdx)
+				nb := batch.FromView(pcb, sel, nil)
+				b.Done()
+				st.addBusy(time.Since(t0))
+				if err := em.flush(ctx); err != nil {
+					nb.Done()
+					return err
+				}
+				if err := w.Put(ctx, nb); err != nil {
+					return err
+				}
+				continue
+			}
+		}
 		t0 := time.Now()
-		b.ReleaseCols()
-		outRows := make([]types.Row, len(b.Rows))
-		for i, r := range b.Rows {
+		rows := b.RowsView()
+		outRows := make([]types.Row, len(rows))
+		for i, r := range rows {
 			out := make(types.Row, len(n.Cols))
 			for j, c := range n.Cols {
 				out[j] = c.Expr.Eval(r)
@@ -227,6 +278,7 @@ func (e *Engine) opProject(ctx context.Context, n *plan.Project, in Reader, w Wr
 			outRows[i] = out
 		}
 		st.addBusy(time.Since(t0))
+		b.Done()
 		for _, r := range outRows {
 			if err := em.add(ctx, r); err != nil {
 				return err
@@ -249,8 +301,7 @@ func (e *Engine) opHashJoin(ctx context.Context, n *plan.HashJoin, left, right R
 			return err
 		}
 		t0 := time.Now()
-		b.ReleaseCols()
-		for _, r := range b.Rows {
+		for _, r := range b.RowsView() {
 			k := r[n.RightCol]
 			if k.IsNull() {
 				continue
@@ -258,6 +309,7 @@ func (e *Engine) opHashJoin(ctx context.Context, n *plan.HashJoin, left, right R
 			h := k.Hash(hashSeed)
 			ht[h] = append(ht[h], r)
 		}
+		b.Done()
 		st.addBusy(time.Since(t0))
 	}
 	// Probe phase.
@@ -271,9 +323,8 @@ func (e *Engine) opHashJoin(ctx context.Context, n *plan.HashJoin, left, right R
 			return err
 		}
 		t0 := time.Now()
-		b.ReleaseCols()
 		var joined []types.Row
-		for _, l := range b.Rows {
+		for _, l := range b.RowsView() {
 			k := l[n.LeftCol]
 			if k.IsNull() {
 				continue
@@ -284,6 +335,7 @@ func (e *Engine) opHashJoin(ctx context.Context, n *plan.HashJoin, left, right R
 				}
 			}
 		}
+		b.Done()
 		st.addBusy(time.Since(t0))
 		for _, r := range joined {
 			if err := em.add(ctx, r); err != nil {
@@ -389,41 +441,19 @@ func (a *aggAcc) result(spec plan.AggSpec) types.Datum {
 	}
 }
 
-// aggGroup is one group's key and accumulators.
-type aggGroup struct {
-	key  types.Row
-	accs []aggAcc
-}
-
-// findOrAddGroup resolves key (pre-hashed to h) in the group table, creating
-// the group — with a cloned key — on first sight.
-func findOrAddGroup(groups map[uint64][]*aggGroup, h uint64, key types.Row, naggs int, ngroups *int) *aggGroup {
-	for _, cand := range groups[h] {
-		if cand.key.Equal(key) {
-			return cand
-		}
-	}
-	grp := &aggGroup{key: key.Clone(), accs: make([]aggAcc, naggs)}
-	groups[h] = append(groups[h], grp)
-	*ngroups++
-	return grp
-}
-
-// opAggregate is a hash group-by. Output group order is unspecified; plans
-// that need an order add a Sort node above. Global aggregates (no group-by)
-// whose arguments are plain column references consume the columnar view of
-// incoming batches: one typed-loop update per (aggregate, batch) instead of
-// per-row expression dispatch.
+// opAggregate is a hash group-by over the open-addressing groupTable.
+// Output group order is unspecified; plans that need an order add a Sort
+// node above. When every aggregate argument and group-by key is a plain
+// column reference (or COUNT(*)), view batches run fully vectorized
+// (aggregateCols): column-wise key hashing, in-place group resolution and
+// batched accumulator folds — and dictionary-coded group columns hash each
+// distinct string once per page instead of once per row. Row batches take
+// the same table through per-row paths with identical hashing, so mixed
+// streams (SPL satellites see materialized rows) accumulate consistently.
 func (e *Engine) opAggregate(ctx context.Context, n *plan.Aggregate, in Reader, w Writer, st *Stage) error {
-	groups := make(map[uint64][]*aggGroup)
-	ngroups := 0
-	// Column indexes of the aggregate arguments and group-by keys, when
-	// every one is a plain column reference (or COUNT(*)). With both, the
-	// per-row path skips expression dispatch entirely: keys and arguments
-	// are direct row indexing, and the group hash is the multiply-shift
-	// HashKey fold instead of the byte-wise FNV walk. Global aggregates
-	// (no group-by) additionally consume incoming columnar views whole.
-	argCols := make([]int, len(n.Aggs))
+	naggs := len(n.Aggs)
+	gt := newGroupTable(naggs)
+	argCols := make([]int, naggs)
 	argsAreCols := true
 	for i, spec := range n.Aggs {
 		switch arg := spec.Arg.(type) {
@@ -435,18 +465,13 @@ func (e *Engine) opAggregate(ctx context.Context, n *plan.Aggregate, in Reader, 
 			argsAreCols = false
 		}
 	}
-	groupIdx := make([]int, 0, len(n.GroupBy))
-	groupsAreCols := true
-	for _, g := range n.GroupBy {
-		if c, ok := g.Expr.(expr.Col); ok {
-			groupIdx = append(groupIdx, c.Idx)
-		} else {
-			groupsAreCols = false
-		}
+	groupExprs := make([]expr.Expr, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		groupExprs[i] = g.Expr
 	}
-	fastRows := argsAreCols && groupsAreCols
-	colArgs := argsAreCols && len(n.GroupBy) == 0
-	var global *aggGroup // the single group of a vectorized global aggregate
+	groupIdx, groupsAreCols := expr.ColRefs(groupExprs)
+	fast := argsAreCols && groupsAreCols
+	var scr aggScratch
 	// One scratch key reused across rows; it is cloned only when a new group
 	// materializes, so grouping allocates per group, not per row.
 	key := make(types.Row, len(n.GroupBy))
@@ -458,80 +483,66 @@ func (e *Engine) opAggregate(ctx context.Context, n *plan.Aggregate, in Reader, 
 		if err != nil {
 			return err
 		}
-		if colArgs {
-			if cb, sel := b.TakeCols(); cb != nil {
+		if fast {
+			if cb, sel, ok := b.Cols(); ok {
 				t0 := time.Now()
 				if sel == nil {
 					sel = cb.AllSel()
 				}
-				if global == nil {
-					// Resolve through the same bucket and equality the row
-					// path uses for the empty group key, so mixed batches
-					// (with and without a columnar view — SPL sharing makes
-					// TakeCols first-wins per batch) accumulate into one
-					// group rather than emitting two partial result rows.
-					global = findOrAddGroup(groups, types.Row(nil).Hash(hashSeed), nil, len(n.Aggs), &ngroups)
-				}
-				for i, spec := range n.Aggs {
-					if argCols[i] < 0 {
-						global.accs[i].count += int64(len(sel))
-						continue
-					}
-					global.accs[i].updateCol(spec, cb.Col(argCols[i]), sel)
-				}
-				cb.Release()
+				aggregateCols(gt, n.Aggs, argCols, groupIdx, cb, sel, key, &scr)
+				b.Done()
 				st.addBusy(time.Since(t0))
 				continue
 			}
-		} else {
-			b.ReleaseCols()
 		}
 		t0 := time.Now()
-		if fastRows {
-			for _, r := range b.Rows {
+		rows := b.RowsView()
+		if fast {
+			for _, r := range rows {
 				h := hashSeed
 				for i, gi := range groupIdx {
 					key[i] = r[gi]
-					h = (h ^ key[i].HashKey()) * 1099511628211
+					h = (h ^ key[i].HashKey()) * vec.HashPrime
 				}
-				grp := findOrAddGroup(groups, h, key, len(n.Aggs), &ngroups)
+				accs := gt.entryAccs(gt.findOrAdd(h, key))
 				for i := range n.Aggs {
 					if argCols[i] < 0 {
-						grp.accs[i].count++
+						accs[i].count++
 					} else {
-						grp.accs[i].updateDatum(n.Aggs[i], r[argCols[i]])
+						accs[i].updateDatum(n.Aggs[i], r[argCols[i]])
 					}
 				}
 			}
 		} else {
-			for _, r := range b.Rows {
+			for _, r := range rows {
 				for i, g := range n.GroupBy {
 					key[i] = g.Expr.Eval(r)
 				}
-				grp := findOrAddGroup(groups, key.Hash(hashSeed), key, len(n.Aggs), &ngroups)
+				accs := gt.entryAccs(gt.findOrAdd(key.Hash(hashSeed), key))
 				for i := range n.Aggs {
-					grp.accs[i].update(n.Aggs[i], r)
+					accs[i].update(n.Aggs[i], r)
 				}
 			}
 		}
+		b.Done()
 		st.addBusy(time.Since(t0))
 	}
-	// A global aggregate over empty input still yields one row.
-	if ngroups == 0 && len(n.GroupBy) == 0 {
-		grp := &aggGroup{accs: make([]aggAcc, len(n.Aggs))}
-		groups[0] = []*aggGroup{grp}
+	// A global aggregate over empty input still yields one row. The empty
+	// key hashes to the bare seed on every path (the fast fold and Row.Hash
+	// both reduce to it), so this resolves to the same single group.
+	if gt.len() == 0 && len(n.GroupBy) == 0 {
+		gt.findOrAdd(hashSeed, nil)
 	}
 	em := newEmitter(w, e.cfg.BatchSize)
-	for _, chain := range groups {
-		for _, grp := range chain {
-			out := make(types.Row, 0, len(n.GroupBy)+len(n.Aggs))
-			out = append(out, grp.key...)
-			for i := range n.Aggs {
-				out = append(out, grp.accs[i].result(n.Aggs[i]))
-			}
-			if err := em.add(ctx, out); err != nil {
-				return err
-			}
+	for g := 0; g < gt.len(); g++ {
+		out := make(types.Row, 0, len(n.GroupBy)+naggs)
+		out = append(out, gt.keys[g]...)
+		accs := gt.entryAccs(int32(g))
+		for i := range n.Aggs {
+			out = append(out, accs[i].result(n.Aggs[i]))
+		}
+		if err := em.add(ctx, out); err != nil {
+			return err
 		}
 	}
 	return em.flush(ctx)
@@ -548,8 +559,8 @@ func (e *Engine) opSort(ctx context.Context, n *plan.Sort, in Reader, w Writer, 
 		if err != nil {
 			return err
 		}
-		b.ReleaseCols()
-		rows = append(rows, b.Rows...)
+		rows = append(rows, b.RowsView()...)
+		b.Done()
 	}
 	t0 := time.Now()
 	sort.SliceStable(rows, func(i, j int) bool {

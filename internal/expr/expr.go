@@ -43,6 +43,21 @@ func (c Col) Eval(row types.Row) types.Datum { return row[c.Idx] }
 // Signature encodes the column position.
 func (c Col) Signature() string { return fmt.Sprintf("col(%d)", c.Idx) }
 
+// ColRefs reports whether every expression is a plain column reference and,
+// if so, returns their positions — the test gating the zero-copy projection
+// and vectorized aggregation fast paths.
+func ColRefs(exprs []Expr) ([]int, bool) {
+	idxs := make([]int, len(exprs))
+	for i, e := range exprs {
+		c, ok := e.(Col)
+		if !ok {
+			return nil, false
+		}
+		idxs[i] = c.Idx
+	}
+	return idxs, true
+}
+
 // Const is a literal datum.
 type Const struct{ D types.Datum }
 

@@ -84,14 +84,21 @@ func (l *List) NewReader() (*Reader, error) {
 // Append publishes a page to all consumers. The page must not be modified
 // afterwards. Append blocks while maxPages unreclaimed pages are pending;
 // it returns ErrNoConsumers when every consumer has detached.
+//
+// The list inherits the producer's batch reference: each consumer takes its
+// own reference as it pulls the page (Next), and the list drops its
+// reference when watermark reclamation retires the page. On error the
+// producer's reference is released — the batch was not published.
 func (l *List) Append(b *batch.Batch) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
 		if l.closed {
+			b.Done()
 			return errors.New("spl: append after close")
 		}
 		if l.attached > 0 && len(l.readers) == 0 {
+			b.Done()
 			return ErrNoConsumers
 		}
 		if len(l.pages) < l.maxPages {
@@ -150,9 +157,10 @@ func (l *List) reclaimLocked() {
 	}
 	if min > l.base {
 		drop := min - l.base
-		// Release references so the batches can be collected even while the
-		// slice header is reused.
+		// Drop the list's batch reference and clear the slot so the batches
+		// can be collected even while the slice header is reused.
 		for i := 0; i < drop; i++ {
+			l.pages[i].Done()
 			l.pages[i] = nil
 		}
 		l.pages = l.pages[drop:]
@@ -176,6 +184,9 @@ func (r *Reader) Next() (*batch.Batch, error) {
 		}
 		if r.next < l.appended {
 			b := l.pages[r.next-l.base]
+			// The reader's own reference: it may process the page after
+			// advancing past it (which can reclaim the list's reference).
+			b.Retain()
 			r.next++
 			l.reclaimLocked()
 			return b, nil

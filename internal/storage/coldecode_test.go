@@ -127,7 +127,11 @@ func TestFrameViewsShareOneDecode(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cb, rows, err := tbl.File.PageView(0)
+	cb, err := tbl.File.PageCols(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tbl.File.Page(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +148,7 @@ func TestFrameViewsShareOneDecode(t *testing.T) {
 		t.Fatal(err)
 	}
 	if cb2 != cb {
-		t.Fatal("PageCols and PageView returned different batches for one residency")
+		t.Fatal("two PageCols calls returned different batches for one residency")
 	}
 	cb2.Release()
 	saved := rows[10].Clone()

@@ -574,6 +574,24 @@ func (b *pageBuilder) finish() []byte {
 
 func (b *pageBuilder) empty() bool { return b.rows == 0 }
 
+// reencodePageV2 re-encodes a decoded page as a v2 column-major page — the
+// migrate-on-load half of the v1 compat path's aging: hot v1 pages are
+// rewritten in the current format the first time they are decoded, so they
+// never pay the transposing decoder twice. ok is false when the rows do not
+// fit one v2 page (possible in principle, since the v2 size accounting is
+// an upper bound); the caller then keeps the v1 bytes.
+func reencodePageV2(cb *vec.ColBatch) (page []byte, ok bool) {
+	b := newPageBuilder()
+	row := make(types.Row, cb.NumCols())
+	for i := 0; i < cb.Len(); i++ {
+		cb.MaterializeRow(i, row)
+		if !b.tryAppend(row) {
+			return nil, false
+		}
+	}
+	return b.finish(), true
+}
+
 // ---------------------------------------------------------------------------
 // Page decoding
 

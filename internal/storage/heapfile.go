@@ -140,18 +140,6 @@ func (h *HeapFile) PageCols(idx int) (*vec.ColBatch, error) {
 	return fr.DecodedCols(h.schema.Len())
 }
 
-// PageView fetches page idx and returns both cached views: the columnar
-// batch (caller owns one reference and must Release it) and the shared,
-// immutable row view materialized from it.
-func (h *HeapFile) PageView(idx int) (*vec.ColBatch, []types.Row, error) {
-	fr, err := h.pool.Fetch(h.id, idx)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer h.pool.Unpin(fr)
-	return fr.decodedView(h.schema.Len())
-}
-
 // AllRows reads the whole file (testing and bulk-build convenience; query
 // execution uses ScanCursor instead).
 func (h *HeapFile) AllRows() ([]types.Row, error) {

@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// migrateFixture writes a table whose on-disk pages are part v1, part v2,
+// returning the expected rows per page.
+func migrateFixture(t *testing.T, c *Catalog, v1Pages, v2Pages int) (*Table, [][]types.Row) {
+	t.Helper()
+	tbl, err := c.CreateTable("aging", types.NewSchema(
+		types.Column{Name: "k", Kind: types.KindInt},
+		types.Column{Name: "s", Kind: types.KindString},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perPage = 150
+	var pages [][]types.Row
+	for p := 0; p < v1Pages+v2Pages; p++ {
+		rows := make([]types.Row, perPage)
+		for i := range rows {
+			id := p*perPage + i
+			rows[i] = types.Row{types.NewInt(int64(id)), types.NewString(strings.Repeat("m", id%11))}
+		}
+		var page []byte
+		if p < v1Pages {
+			page = buildV1Page(t, rows)
+		} else {
+			page = buildV2Page(t, rows)
+		}
+		if err := c.Disk().WritePage(tbl.File.ID(), p, page); err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, rows)
+	}
+	return tbl, pages
+}
+
+// readAllPages decodes every page through the pool and checks contents.
+func readAllPages(t *testing.T, tbl *Table, pages [][]types.Row) {
+	t.Helper()
+	for p, want := range pages {
+		cb, err := tbl.File.PageCols(p)
+		if err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+		if cb.Len() != len(want) {
+			t.Fatalf("page %d: %d rows, want %d", p, cb.Len(), len(want))
+		}
+		for i := range want {
+			if !cb.Row(i).Equal(want[i]) {
+				t.Fatalf("page %d row %d: got %v, want %v", p, i, cb.Row(i), want[i])
+			}
+		}
+		cb.Release()
+	}
+}
+
+// TestMigrateOnLoadConvergesToV2 checks the aging of the v1 compat path:
+// decoding a v1 page re-encodes it as v2 and writes it back, so after one
+// sweep every subsequent residency decodes through the v2 bulk decoder —
+// a mixed v1/v2 file converges to all-v2 decode stats.
+func TestMigrateOnLoadConvergesToV2(t *testing.T) {
+	// Pool of 2 frames over 6 pages: every sweep faults every page back in,
+	// so per-sweep decode counts are exactly one per page.
+	c := newTestCatalog(t, 2)
+	const v1Pages, v2Pages = 4, 2
+	tbl, pages := migrateFixture(t, c, v1Pages, v2Pages)
+
+	readAllPages(t, tbl, pages)
+	s1 := c.Pool().DecodeStats()
+	if s1.DecodedV1 != v1Pages || s1.DecodedV2 != v2Pages {
+		t.Fatalf("first sweep: decoded v1=%d v2=%d, want %d/%d", s1.DecodedV1, s1.DecodedV2, v1Pages, v2Pages)
+	}
+	if s1.Migrated != v1Pages {
+		t.Fatalf("first sweep: migrated %d pages, want %d", s1.Migrated, v1Pages)
+	}
+
+	// Second and third sweeps: the file is all-v2 on disk now; the v1
+	// decoder must never run again and contents must be identical.
+	for sweep := 2; sweep <= 3; sweep++ {
+		readAllPages(t, tbl, pages)
+		s := c.Pool().DecodeStats()
+		if s.DecodedV1 != v1Pages || s.Migrated != v1Pages {
+			t.Fatalf("sweep %d: v1 decodes grew to %d (migrated %d) — migration did not stick", sweep, s.DecodedV1, s.Migrated)
+		}
+		wantV2 := int64(v2Pages + (sweep-1)*(v1Pages+v2Pages))
+		if s.DecodedV2 != wantV2 {
+			t.Fatalf("sweep %d: v2 decodes = %d, want %d", sweep, s.DecodedV2, wantV2)
+		}
+	}
+}
+
+// TestMigrateOnLoadWriteFailureKeepsV1 checks the best-effort contract: when
+// the write-back fails the in-memory decode still succeeds and the on-disk
+// page simply stays v1 (to be migrated on a later residency).
+func TestMigrateOnLoadWriteFailureKeepsV1(t *testing.T) {
+	base := NewMemDisk(DiskProfile{})
+	disk := &writeFailDisk{Disk: base}
+	// 3 pages over a 2-frame pool: every sweep re-faults (and re-decodes)
+	// every page.
+	c := NewCatalog(disk, 2, true)
+	tbl, pages := migrateFixture(t, c, 3, 0)
+
+	disk.fail = true
+	readAllPages(t, tbl, pages)
+	s := c.Pool().DecodeStats()
+	if s.DecodedV1 != 3 || s.Migrated != 0 {
+		t.Fatalf("failed writes: v1=%d migrated=%d, want 3/0", s.DecodedV1, s.Migrated)
+	}
+
+	// Heal the disk: the next sweep migrates.
+	disk.fail = false
+	readAllPages(t, tbl, pages)
+	s = c.Pool().DecodeStats()
+	if s.DecodedV1 != 6 || s.Migrated != 3 {
+		t.Fatalf("healed: v1=%d migrated=%d, want 6/3", s.DecodedV1, s.Migrated)
+	}
+	readAllPages(t, tbl, pages)
+	if s := c.Pool().DecodeStats(); s.DecodedV1 != 6 {
+		t.Fatalf("post-heal sweep: v1 decodes grew to %d", s.DecodedV1)
+	}
+}
+
+// writeFailDisk fails WritePage while fail is set (reads untouched).
+type writeFailDisk struct {
+	Disk
+	fail bool
+}
+
+func (d *writeFailDisk) WritePage(f FileID, idx int, data []byte) error {
+	if d.fail {
+		return ErrInjected
+	}
+	return d.Disk.WritePage(f, idx, data)
+}

@@ -23,6 +23,7 @@ type pageKey struct {
 // frames from Fetch and must Unpin them when done; the page bytes must not
 // be accessed after Unpin.
 type Frame struct {
+	pool    *BufferPool // owning pool (migrate-on-load and decode stats)
 	key     pageKey
 	data    []byte
 	pins    int
@@ -50,18 +51,52 @@ type Frame struct {
 // Data returns the page bytes. Valid only while the frame is pinned.
 func (fr *Frame) Data() []byte { return fr.data }
 
-// decodeLocked populates the columnar cache on first use per residency.
-func (fr *Frame) decodeLocked(ncols int) error {
+// decodeLocked populates the columnar cache on first use per residency,
+// aging v1 pages as a side effect: a page that still decodes through the
+// v1 transposing loop is re-encoded as a v2 column-major page and installed
+// in the frame, so hot data pays the compat decoder at most once. The
+// returned writeBack page, when non-nil, must be flushed to disk by the
+// caller after releasing decMu — the write (real I/O, or a charged latency
+// sleep on the simulated disk) must not stall concurrent readers of the
+// already-decoded frame.
+func (fr *Frame) decodeLocked(ncols int) (writeBack []byte, err error) {
 	if fr.decoded {
-		return nil
+		return nil, nil
+	}
+	ver, err := pageVersion(fr.data)
+	if err != nil {
+		return nil, err
 	}
 	cb, err := DecodePageCols(fr.data, ncols)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fr.cb = cb
 	fr.decoded = true
-	return nil
+	if p := fr.pool; p != nil {
+		if ver == 1 {
+			p.decodedV1.Add(1)
+			if page, ok := reencodePageV2(cb); ok {
+				copy(fr.data, page)
+				return page, nil
+			}
+		} else {
+			p.decodedV2.Add(1)
+		}
+	}
+	return nil, nil
+}
+
+// migrate flushes a re-encoded v2 page back to disk (mixed v1/v2 files
+// converge to all-v2). Best-effort: on failure the on-disk page stays v1
+// and the next residency simply migrates again.
+func (fr *Frame) migrate(writeBack []byte) {
+	if writeBack == nil {
+		return
+	}
+	if p := fr.pool; p != nil && p.disk.WritePage(fr.key.file, fr.key.idx, writeBack) == nil {
+		p.migrated.Add(1)
+	}
 }
 
 // DecodedCols returns the frame's page decoded into a columnar batch,
@@ -70,11 +105,14 @@ func (fr *Frame) decodeLocked(ncols int) error {
 // batch may be retained past Unpin.
 func (fr *Frame) DecodedCols(ncols int) (*vec.ColBatch, error) {
 	fr.decMu.Lock()
-	defer fr.decMu.Unlock()
-	if err := fr.decodeLocked(ncols); err != nil {
+	writeBack, err := fr.decodeLocked(ncols)
+	if err != nil {
+		fr.decMu.Unlock()
 		return nil, err
 	}
 	fr.cb.Retain()
+	fr.decMu.Unlock()
+	fr.migrate(writeBack)
 	return fr.cb, nil
 }
 
@@ -84,32 +122,19 @@ func (fr *Frame) DecodedCols(ncols int) (*vec.ColBatch, error) {
 // may be retained after Unpin.
 func (fr *Frame) DecodedRows(ncols int) ([]types.Row, error) {
 	fr.decMu.Lock()
-	defer fr.decMu.Unlock()
-	if err := fr.decodeLocked(ncols); err != nil {
+	writeBack, err := fr.decodeLocked(ncols)
+	if err != nil {
+		fr.decMu.Unlock()
 		return nil, err
 	}
 	if !fr.rowsDone {
 		fr.rows = fr.cb.Rows()
 		fr.rowsDone = true
 	}
-	return fr.rows, nil
-}
-
-// decodedView returns both cached views of the page (the columnar batch
-// with a caller-owned reference, and the shared row view), decoding and
-// materializing at most once per residency.
-func (fr *Frame) decodedView(ncols int) (*vec.ColBatch, []types.Row, error) {
-	fr.decMu.Lock()
-	defer fr.decMu.Unlock()
-	if err := fr.decodeLocked(ncols); err != nil {
-		return nil, nil, err
-	}
-	if !fr.rowsDone {
-		fr.rows = fr.cb.Rows()
-		fr.rowsDone = true
-	}
-	fr.cb.Retain()
-	return fr.cb, fr.rows, nil
+	rows := fr.rows
+	fr.decMu.Unlock()
+	fr.migrate(writeBack)
+	return rows, nil
 }
 
 // PoolStats are cumulative buffer pool counters.
@@ -117,6 +142,15 @@ type PoolStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+}
+
+// DecodeStats count page decodes per on-disk format plus v1→v2 migrations,
+// the observability hook for the compat path's aging: on a converged system
+// DecodedV1 stops growing.
+type DecodeStats struct {
+	DecodedV1 int64 // pages decoded through the v1 transposing loop
+	DecodedV2 int64 // pages decoded through the v2 bulk column decoder
+	Migrated  int64 // v1 pages re-encoded as v2 and written back
 }
 
 // BufferPool caches disk pages in a fixed number of frames with clock
@@ -137,6 +171,10 @@ type BufferPool struct {
 	evictions  atomic.Int64
 	prefetched atomic.Int64
 
+	decodedV1 atomic.Int64
+	decodedV2 atomic.Int64
+	migrated  atomic.Int64
+
 	prefetchGate chan struct{}
 }
 
@@ -152,7 +190,7 @@ func NewBufferPool(disk Disk, npages int) *BufferPool {
 		prefetchGate: make(chan struct{}, 4),
 	}
 	for i := range p.frames {
-		p.frames[i] = &Frame{data: make([]byte, PageSize)}
+		p.frames[i] = &Frame{pool: p, data: make([]byte, PageSize)}
 	}
 	return p
 }
@@ -309,5 +347,14 @@ func (p *BufferPool) Stats() PoolStats {
 		Hits:      p.hits.Load(),
 		Misses:    p.misses.Load(),
 		Evictions: p.evictions.Load(),
+	}
+}
+
+// DecodeStats returns cumulative per-format decode and migration counters.
+func (p *BufferPool) DecodeStats() DecodeStats {
+	return DecodeStats{
+		DecodedV1: p.decodedV1.Load(),
+		DecodedV2: p.decodedV2.Load(),
+		Migrated:  p.migrated.Load(),
 	}
 }

@@ -111,36 +111,44 @@ func (c *ScanCursor) Next() (idx int, ok bool) {
 	return idx, true
 }
 
-// NextRows fetches and decodes the next page, or ok=false at end of sweep.
-// With readahead enabled the cursor's following page is requested in the
-// background before this one is decoded. It is the row-only form of
-// NextView: the columnar reference is dropped immediately (both views come
-// from the same cached decode).
+// NextRows fetches the next page's shared row view, or ok=false at end of
+// sweep. With readahead enabled the cursor's following page is requested in
+// the background before this one is decoded. Rows materialize once per pool
+// residency from the frame's columnar cache (the row-only convenience for
+// tests and the shared-scan ablation; query execution uses NextCols).
 func (c *ScanCursor) NextRows() (rows []types.Row, ok bool, err error) {
-	cb, rows, ok, err := c.NextView()
-	if cb != nil {
-		cb.Release()
-	}
-	return rows, ok, err
-}
-
-// NextView fetches the next page and returns both cached views — the
-// columnar batch (caller owns one reference and must Release it) and the
-// shared row view — or ok=false at end of sweep. Vectorized scans evaluate
-// predicates over the batch and pick surviving rows from the row view.
-func (c *ScanCursor) NextView() (cb *vec.ColBatch, rows []types.Row, ok bool, err error) {
 	idx, ok := c.Next()
 	if !ok {
-		return nil, nil, false, nil
+		return nil, false, nil
 	}
 	if c.numPages > 1 && c.group.prefetchOn() {
 		c.group.hf.Prefetch((idx + 1) % c.numPages)
 	}
-	cb, rows, err = c.group.hf.PageView(idx)
+	rows, err = c.group.hf.Page(idx)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, false, err
 	}
-	return cb, rows, true, nil
+	return rows, true, nil
+}
+
+// NextCols fetches the next page's columnar batch — without materializing
+// the row view — and reports the page index, or ok=false at end of sweep.
+// The caller owns one reference on the batch and must Release it. This is
+// the columnar-exchange scan path: rows for the page, if a downstream
+// consumer ever needs them, come later from HeapFile.Page's shared cache.
+func (c *ScanCursor) NextCols() (cb *vec.ColBatch, idx int, ok bool, err error) {
+	idx, ok = c.Next()
+	if !ok {
+		return nil, 0, false, nil
+	}
+	if c.numPages > 1 && c.group.prefetchOn() {
+		c.group.hf.Prefetch((idx + 1) % c.numPages)
+	}
+	cb, err = c.group.hf.PageCols(idx)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return cb, idx, true, nil
 }
 
 // Close detaches the cursor from its group.

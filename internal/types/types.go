@@ -223,6 +223,27 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// HashKeyInt is Datum.HashKey for an integer-class payload (int, date,
+// bool), exposed so columnar kernels can hash raw int64 arrays without
+// building datums. HashKeyInt(v) == Datum{K: KindInt, I: v}.HashKey().
+func HashKeyInt(v int64) uint64 { return mix64(uint64(v)) }
+
+// HashKeyFloat is Datum.HashKey for a float payload: integral values hash as
+// their integer counterpart (so cross-kind numeric equality keeps hashing
+// equal, within the same 2^62 bound Hash uses), everything else through the
+// FNV fallback.
+func HashKeyFloat(f float64) uint64 {
+	if f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1<<62 {
+		return mix64(uint64(int64(f)))
+	}
+	return Datum{K: KindFloat, F: f}.Hash(hashKeySeed)
+}
+
+// HashKeyString is Datum.HashKey for a string payload.
+func HashKeyString(s string) uint64 {
+	return Datum{K: KindString, S: s}.Hash(hashKeySeed)
+}
+
 // HashKey returns a well-mixed 64-bit hash of the datum for hash-table
 // keying. Integer-class datums (int, date, bool) take a multiply-shift fast
 // path over the int64 payload — the dominant case for star-schema join keys —
@@ -230,16 +251,15 @@ func mix64(x uint64) uint64 {
 // equally for magnitudes below 2^62 (the same bound Hash uses; beyond it,
 // Compare's float promotion makes cross-kind equality lossy and neither hash
 // tracks it). Strings and non-integral floats fall back to the FNV path of
-// Hash.
+// Hash. HashKey delegates to the per-payload HashKeyInt/HashKeyFloat so the
+// columnar kernels hashing raw payload arrays are bit-identical by
+// construction — mixed row and columnar batches feed one group table.
 func (d Datum) HashKey() uint64 {
 	switch d.K {
 	case KindInt, KindDate, KindBool:
-		return mix64(uint64(d.I))
+		return HashKeyInt(d.I)
 	case KindFloat:
-		if f := d.F; f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1<<62 {
-			return mix64(uint64(int64(f)))
-		}
-		return d.Hash(hashKeySeed)
+		return HashKeyFloat(d.F)
 	default:
 		return d.Hash(hashKeySeed)
 	}

@@ -214,6 +214,30 @@ func (v *Vec) BulkDict(n int) []string {
 	return v.Dict
 }
 
+// AppendFrom appends row i of src as the next row of v: a typed payload
+// copy with no Datum boxing, used by the CJOIN distributor to route fact
+// columns straight between batches. Dictionary coding does not propagate;
+// dictionary rows append as plain string rows (the string headers already
+// point into the source page's immutable buffer).
+func (v *Vec) AppendFrom(src *Vec, i int) {
+	k := src.Kinds[i]
+	n := len(v.Kinds)
+	v.Kinds = append(v.Kinds, k)
+	switch k {
+	case types.KindInt, types.KindDate, types.KindBool:
+		v.flags &^= flagAllFloat | flagAllStr
+		v.I = append(padI(v.I, n), src.I[i])
+	case types.KindFloat:
+		v.flags &^= flagAllInt | flagAllStr
+		v.F = append(padF(v.F, n), src.F[i])
+	case types.KindString:
+		v.flags &^= flagAllInt | flagAllFloat
+		v.S = append(padS(v.S, n), src.S[i])
+	default: // NULL
+		v.flags = 0
+	}
+}
+
 // Datum reconstructs row i as a types.Datum. The payload array for the
 // row's kind is guaranteed to cover index i by construction.
 func (v *Vec) Datum(i int) types.Datum {
@@ -237,6 +261,12 @@ type ColBatch struct {
 	cols   []Vec
 	n      int
 	allSel []int32
+
+	// parent is set on batches built by ProjectCols: the columns share the
+	// parent's payload arrays, so releasing the derived batch must not
+	// recycle them — it drops the struct references and releases the parent
+	// instead.
+	parent *ColBatch
 
 	refs atomic.Int32
 }
@@ -272,6 +302,20 @@ func (b *ColBatch) Retain() { b.refs.Add(1) }
 func (b *ColBatch) Release() {
 	switch n := b.refs.Add(-1); {
 	case n == 0:
+		if p := b.parent; p != nil {
+			// Derived batch: the Vec payload arrays belong to the parent, so
+			// drop the struct references without clearing the arrays.
+			for i := range b.cols {
+				b.cols[i] = Vec{flags: flagAllUniform}
+			}
+			b.cols = b.cols[:0]
+			b.allSel = nil // shared with the parent
+			b.parent = nil
+			b.n = 0
+			batchPool.Put(b)
+			p.Release()
+			return
+		}
 		for i := range b.cols {
 			b.cols[i].reset()
 		}
@@ -280,6 +324,32 @@ func (b *ColBatch) Release() {
 	case n < 0:
 		panic("vec: ColBatch over-released")
 	}
+}
+
+// ProjectCols returns a derived batch whose column j is b's column idxs[j],
+// sharing b's payload arrays and identity selection — the zero-copy form of
+// a column-reference-only projection. The derived batch holds one reference
+// on b (released when the derived batch's last reference drops) and one
+// caller-owned reference on itself. b must be sealed.
+func ProjectCols(b *ColBatch, idxs []int) *ColBatch {
+	d, _ := batchPool.Get().(*ColBatch)
+	if d == nil {
+		d = &ColBatch{}
+	}
+	if cap(d.cols) < len(idxs) {
+		d.cols = make([]Vec, len(idxs))
+	} else {
+		d.cols = d.cols[:len(idxs)]
+	}
+	for j, idx := range idxs {
+		d.cols[j] = b.cols[idx] // struct copy: payload arrays are shared
+	}
+	d.n = b.n
+	d.allSel = b.allSel
+	b.Retain()
+	d.parent = b
+	d.refs.Store(1)
+	return d
 }
 
 // NumCols returns the number of columns.
