@@ -158,6 +158,11 @@ type (
 	ScenarioIVConfig = workload.ScenarioIVConfig
 	// ScenarioIVResult holds Scenario IV series.
 	ScenarioIVResult = workload.ScenarioIVResult
+	// ScenarioIVPruneConfig parameterizes the Scenario IV pruning axis
+	// (date-clustered fact table, zone-map pruning on vs off).
+	ScenarioIVPruneConfig = workload.ScenarioIVPruneConfig
+	// ScenarioIVPruneResult holds the pruning-axis series.
+	ScenarioIVPruneResult = workload.ScenarioIVPruneResult
 )
 
 // Scenario entry points.
@@ -170,6 +175,9 @@ var (
 	RunScenarioIII = workload.RunScenarioIII
 	// RunScenarioIV reproduces §4.4 scenario IV.
 	RunScenarioIV = workload.RunScenarioIV
+	// RunScenarioIVPrune runs the Scenario IV pruning axis: date-window
+	// queries on a date-clustered fact table, pruning on vs off.
+	RunScenarioIVPrune = workload.RunScenarioIVPrune
 )
 
 // Residency values.

@@ -93,6 +93,9 @@ type Config struct {
 	// Workers is the number of parallel probe pipelines the fact stream is
 	// partitioned across. Default: runtime.GOMAXPROCS(0).
 	Workers int
+	// DisablePrune turns off zone-map page pruning in the shared scan (the
+	// pruning-on/off ablation toggle; pruning is on by default).
+	DisablePrune bool
 }
 
 // MaxWorkers bounds Config.Workers; a larger value is almost certainly a
@@ -136,6 +139,8 @@ type Stats struct {
 	Completed      int64 // queries that finished a full sweep
 	Canceled       int64 // queries canceled mid-sweep
 	PagesScanned   int64 // fact pages read by the circular scan
+	PagesPruned    int64 // fact pages skipped whole: no attached query could match
+	ZoneSkips      int64 // (page, query) annotate passes skipped by zone maps
 	FactTuplesIn   int64 // fact tuples entering the pipeline
 	DroppedAtScan  int64 // tuples whose bitmap was zero after fact predicates
 	Probes         int64 // dimension hash probes
@@ -197,6 +202,7 @@ type wmsg struct {
 // never observed and need not be cleared.
 type item struct {
 	seq  int64
+	page int // fact page index of a data tick (zone-map lookup key)
 	pre  []ctlMsg
 	post []ctlMsg
 
@@ -277,6 +283,7 @@ type subscription struct {
 	q        *plan.StarQuery
 	factPred func(types.Row) bool // nil means all fact rows qualify
 	factVec  expr.VecPred         // vectorized form of factPred (nil iff factPred is)
+	prune    expr.PruneCheck      // page-level can-match check (nil = every page)
 	dimIdx   []int                // operator dim index per q.Dims entry
 
 	// Per-operator-dimension admission plan, compiled once at subscription
@@ -337,11 +344,12 @@ type Operator struct {
 	itemPool sync.Pool
 
 	stats struct {
-		admitted, completed, canceled             atomic.Int64
-		pagesScanned, factTuplesIn, droppedAtScan atomic.Int64
-		probes, probeMisses, droppedInChain       atomic.Int64
-		tuplesRouted                              atomic.Int64
-		busyNanos                                 atomic.Int64
+		admitted, completed, canceled        atomic.Int64
+		pagesScanned, pagesPruned, zoneSkips atomic.Int64
+		factTuplesIn, droppedAtScan          atomic.Int64
+		probes, probeMisses, droppedInChain  atomic.Int64
+		tuplesRouted                         atomic.Int64
+		busyNanos                            atomic.Int64
 	}
 }
 
@@ -423,6 +431,8 @@ func (op *Operator) Stats() Stats {
 		Completed:      op.stats.completed.Load(),
 		Canceled:       op.stats.canceled.Load(),
 		PagesScanned:   op.stats.pagesScanned.Load(),
+		PagesPruned:    op.stats.pagesPruned.Load(),
+		ZoneSkips:      op.stats.zoneSkips.Load(),
 		FactTuplesIn:   op.stats.factTuplesIn.Load(),
 		DroppedAtScan:  op.stats.droppedAtScan.Load(),
 		Probes:         op.stats.probes.Load(),
@@ -518,6 +528,9 @@ func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 	if q.FactPred != nil {
 		sub.factPred = expr.Compile(q.FactPred)
 		sub.factVec = expr.CompileVec(q.FactPred)
+		if !op.cfg.DisablePrune {
+			sub.prune = expr.CompilePrune(q.FactPred)
+		}
 	}
 	sub.outWidth = len(q.FactCols)
 	for _, d := range q.Dims {
@@ -653,56 +666,86 @@ func (op *Operator) scan(fanIn chan<- *item) {
 		}
 
 		if npages > 0 {
-			t0 := time.Now()
-			cb, err := op.fact.File.PageCols(pos)
-			op.addBusy(time.Since(t0))
-			if err != nil {
-				// A failed page read aborts every active query; errors are
-				// delivered through finish markers on a control tick.
-				post := make([]ctlMsg, 0, len(active))
-				for _, sub := range active {
-					sub.err = err
-					post = append(post, ctlMsg{kind: ctlFinish, sub: sub})
+			// Union prune: the page is fetched only if some attached query
+			// can match its zone maps. A pruned page still consumes one tick
+			// of every active sweep (the retirement loop below decrements
+			// pagesLeft unconditionally) — it contributes zero tuples to
+			// every query, exactly as if it had been fetched and annotated.
+			fetchPos := pos
+			if !op.cfg.DisablePrune {
+				if zones := op.fact.File.PageZones(fetchPos); zones != nil && len(active) > 0 {
+					pruned := true
+					for _, sub := range active {
+						if sub.canceled.Load() {
+							continue
+						}
+						if sub.prune == nil || sub.prune(zones) {
+							pruned = false
+							break
+						}
+					}
+					if pruned {
+						pos = (pos + 1) % npages
+						op.stats.pagesPruned.Add(1)
+						op.fact.File.NotePruned()
+						goto retireTick
+					}
 				}
-				active = active[:0]
-				if !broadcast(nil, post) {
-					return
-				}
-				continue
 			}
-			pos = (pos + 1) % npages
-			op.stats.pagesScanned.Add(1)
-			op.stats.factTuplesIn.Add(int64(cb.Len()))
+			{
+				t0 := time.Now()
+				cb, err := op.fact.File.PageCols(fetchPos)
+				op.addBusy(time.Since(t0))
+				if err != nil {
+					// A failed page read aborts every active query; errors are
+					// delivered through finish markers on a control tick.
+					post := make([]ctlMsg, 0, len(active))
+					for _, sub := range active {
+						sub.err = err
+						post = append(post, ctlMsg{kind: ctlFinish, sub: sub})
+					}
+					active = active[:0]
+					if !broadcast(nil, post) {
+						return
+					}
+					continue
+				}
+				pos = (pos + 1) % npages
+				op.stats.pagesScanned.Add(1)
+				op.stats.factTuplesIn.Add(int64(cb.Len()))
 
-			it := op.getItem()
-			it.seq = seq
-			seq++
-			it.cols = cb
-			// Deal the page round-robin, but skip workers whose queues are
-			// full so one slow worker cannot head-of-line block the rest —
-			// the distributor's sequence merge makes any assignment
-			// correct. Only when every queue is full does the scanner block
-			// (on the round-robin choice), which is the backpressure path.
-			sent := false
-			for k := 0; k < len(op.workers) && !sent; k++ {
-				select {
-				case op.workers[(wi+k)%len(op.workers)].in <- wmsg{it: it}:
-					wi = (wi + k + 1) % len(op.workers)
-					sent = true
-				default:
+				it := op.getItem()
+				it.seq = seq
+				seq++
+				it.cols = cb
+				it.page = fetchPos
+				// Deal the page round-robin, but skip workers whose queues are
+				// full so one slow worker cannot head-of-line block the rest —
+				// the distributor's sequence merge makes any assignment
+				// correct. Only when every queue is full does the scanner block
+				// (on the round-robin choice), which is the backpressure path.
+				sent := false
+				for k := 0; k < len(op.workers) && !sent; k++ {
+					select {
+					case op.workers[(wi+k)%len(op.workers)].in <- wmsg{it: it}:
+						wi = (wi + k + 1) % len(op.workers)
+						sent = true
+					default:
+					}
 				}
-			}
-			if !sent {
-				w := op.workers[wi]
-				wi = (wi + 1) % len(op.workers)
-				select {
-				case w.in <- wmsg{it: it}:
-				case <-op.closeCh:
-					return
+				if !sent {
+					w := op.workers[wi]
+					wi = (wi + 1) % len(op.workers)
+					select {
+					case w.in <- wmsg{it: it}:
+					case <-op.closeCh:
+						return
+					}
 				}
 			}
 		}
 
+	retireTick:
 		// Retire queries whose sweep ended with this page (or that
 		// canceled). The finish tick follows the sweep's last page, so
 		// every worker and the distributor see that page first.
@@ -750,9 +793,27 @@ func (w *worker) annotate(it *item, active []*subscription, nslots int) {
 		w.selBuf = make([]int32, nrows)
 	}
 	sel := w.selBuf[:nrows]
+	// Per-query zone skip: a query whose zone check fails for this page
+	// skips its vectorized annotate pass entirely — its bitmap stays zero
+	// for every row, exactly what evaluating the predicate would produce.
+	// The page itself was fetched because some other attached query can
+	// match it (the scanner's union prune).
+	var zones []storage.ZoneMap
+	zonesLoaded := false
+	var zskips int64
 	for _, sub := range active {
 		if sub.canceled.Load() {
 			continue
+		}
+		if sub.prune != nil {
+			if !zonesLoaded {
+				zones = w.op.fact.File.PageZones(it.page)
+				zonesLoaded = true
+			}
+			if zones != nil && !sub.prune(zones) {
+				zskips++
+				continue
+			}
 		}
 		wi, bit := uint(sub.id)>>6, uint64(1)<<(uint(sub.id)&63)
 		if sub.factVec == nil {
@@ -801,6 +862,9 @@ func (w *worker) annotate(it *item, active []*subscription, nslots int) {
 	it.n = n
 	if dropped > 0 {
 		w.op.stats.droppedAtScan.Add(dropped)
+	}
+	if zskips > 0 {
+		w.op.stats.zoneSkips.Add(zskips)
 	}
 }
 

@@ -47,6 +47,10 @@ type Config struct {
 	// Star runs CJoin nodes on the shared Global Query Plan; nil disables
 	// the CJOIN stage.
 	Star StarRunner
+
+	// NoPrune disables zone-map page pruning in table scans (the
+	// pruning-on/off ablation toggle; pruning is on by default).
+	NoPrune bool
 }
 
 func (c *Config) withDefaults() Config {

@@ -54,16 +54,20 @@ func (e *Engine) opScan(ctx context.Context, n *plan.Scan, w Writer, st *Stage) 
 	defer cur.Close()
 	hf := n.Table.File
 	var vpred expr.VecPred
+	var prune expr.PruneCheck
 	var scr vec.Scratch
 	if n.Pred != nil {
 		vpred = expr.CompileVec(n.Pred)
+		if !e.cfg.NoPrune {
+			prune = expr.CompilePrune(n.Pred)
+		}
 	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		t0 := time.Now()
-		cb, idx, ok, err := cur.NextCols()
+		cb, idx, ok, err := cur.NextColsPruned(prune)
 		if err != nil {
 			st.addBusy(time.Since(t0))
 			return err

@@ -34,9 +34,23 @@ type DB struct {
 	NCust, NSupp, NPart int
 }
 
+// GenOptions tunes data generation beyond the scale factor.
+type GenOptions struct {
+	// DateClustered assigns lo_orderdate monotonically across the fact table
+	// instead of uniformly at random — the layout a time-ordered ingest
+	// produces naturally. Each fact page then covers a narrow date range, so
+	// zone maps turn a date window into a contiguous run of relevant pages.
+	DateClustered bool
+}
+
 // Generate creates and loads all five SSB tables at the given scale factor.
 // Fractional scale factors are supported (sf=0.01 is a 60k-row fact table).
 func Generate(cat *storage.Catalog, sf float64, seed int64) (*DB, error) {
+	return GenerateOpts(cat, sf, seed, GenOptions{})
+}
+
+// GenerateOpts is Generate with layout options.
+func GenerateOpts(cat *storage.Catalog, sf float64, seed int64, opts GenOptions) (*DB, error) {
 	if sf <= 0 {
 		return nil, fmt.Errorf("ssb: scale factor must be positive, got %g", sf)
 	}
@@ -60,7 +74,7 @@ func Generate(cat *storage.Catalog, sf float64, seed int64) (*DB, error) {
 	if db.Part, err = generatePart(cat, db.NPart, r); err != nil {
 		return nil, err
 	}
-	if db.Lineorder, err = generateLineorder(cat, db, int(float64(LineorderRowsPerSF)*sf), r); err != nil {
+	if db.Lineorder, err = generateLineorder(cat, db, int(float64(LineorderRowsPerSF)*sf), r, opts); err != nil {
 		return nil, err
 	}
 	return db, nil
@@ -170,7 +184,7 @@ func generatePart(cat *storage.Catalog, n int, r *rand.Rand) (*storage.Table, er
 	return tbl, tbl.File.Seal()
 }
 
-func generateLineorder(cat *storage.Catalog, db *DB, n int, r *rand.Rand) (*storage.Table, error) {
+func generateLineorder(cat *storage.Catalog, db *DB, n int, r *rand.Rand, opts GenOptions) (*storage.Table, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("ssb: scale factor yields no lineorder rows")
 	}
@@ -191,13 +205,17 @@ func generateLineorder(cat *storage.Catalog, db *DB, n int, r *rand.Rand) (*stor
 		price := int64(90000+r.Intn(1000000)) * qty / 25
 		disc := int64(r.Intn(11))
 		revenue := price * (100 - disc) / 100
+		orderDate := db.DateKeys[r.Intn(len(db.DateKeys))]
+		if opts.DateClustered {
+			orderDate = db.DateKeys[i*len(db.DateKeys)/n]
+		}
 		row := types.Row{
 			types.NewInt(order),
 			types.NewInt(int64(line)),
 			types.NewInt(1 + r.Int63n(int64(db.NCust))),
 			types.NewInt(1 + r.Int63n(int64(db.NPart))),
 			types.NewInt(1 + r.Int63n(int64(db.NSupp))),
-			types.NewInt(db.DateKeys[r.Intn(len(db.DateKeys))]),
+			types.NewInt(orderDate),
 			types.NewInt(qty),
 			types.NewInt(price),
 			types.NewInt(disc),

@@ -395,6 +395,65 @@ func ParametricWindow(db *DB, width, start int64) Instance {
 	}
 }
 
+// DateWindow is the Scenario IV pruning axis workhorse: revenue by year over
+// fact rows with lo_orderdate in a contiguous calendar window covering
+// selPct percent of the 1992-1998 calendar, starting at day offset start.
+// Selectivity is selPct regardless of start (randomized start keeps
+// same-selectivity instances distinct, as in ParametricWindow). On a
+// date-clustered fact table the window maps to a contiguous run of pages and
+// zone maps prove every page outside it irrelevant.
+func DateWindow(db *DB, selPct int, start int) Instance {
+	nd := len(db.DateKeys)
+	width := nd * selPct / 100
+	if width < 1 {
+		width = 1
+	}
+	if start < 0 {
+		start = 0
+	}
+	if start > nd-width {
+		start = nd - width
+	}
+	lo, hi := db.DateKeys[start], db.DateKeys[start+width-1]
+	star := &plan.StarQuery{
+		Fact: db.Lineorder,
+		FactPred: expr.NewBetween(expr.C(LOOrderDate, "lo_orderdate"),
+			expr.Int(lo), expr.Int(hi)),
+		FactCols: []int{LORevenue},
+		Dims: []plan.DimJoin{{
+			Table: db.Date, FactKeyCol: LOOrderDate, DimKeyCol: DDateKey, PayloadCols: []int{DYear},
+		}},
+	}
+	return Instance{
+		Name: fmt.Sprintf("datewin(sel=%d%%,start=%d)", selPct, start),
+		Star: star,
+		Build: func(out plan.Node) plan.Node {
+			s := out.Schema()
+			return plan.NewAggregate(out,
+				[]plan.GroupCol{{Name: "d_year", Kind: types.KindInt, Expr: expr.C(s.MustColIndex("d_year"), "d_year")}},
+				[]plan.AggSpec{{Func: plan.AggSum,
+					Arg: expr.C(s.MustColIndex("lo_revenue"), "lo_revenue"), Name: "revenue"}})
+		},
+	}
+}
+
+// DateWindowPool draws nPlans DateWindow instances at the same selectivity
+// with randomized starts (the pruning analogue of the Scenario III window
+// pool).
+func DateWindowPool(db *DB, selPct, nPlans int, seed int64) []Instance {
+	r := rand.New(rand.NewSource(seed))
+	nd := len(db.DateKeys)
+	width := nd * selPct / 100
+	if width < 1 {
+		width = 1
+	}
+	out := make([]Instance, 0, nPlans)
+	for len(out) < nPlans {
+		out = append(out, DateWindow(db, selPct, r.Intn(nd-width+1)))
+	}
+	return out
+}
+
 // Pool pre-generates nPlans distinct instances of the template (distinct by
 // star signature). Clients drawing queries from a small pool produce many
 // common sub-plans; a large pool has few — the "number of possible different

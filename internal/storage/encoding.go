@@ -26,11 +26,14 @@ const PageSize = 32 * 1024
 //	[0:2]  0xFFFF page magic (v1 pages store the row count here; a v1 page
 //	       can never hold 65535 rows — each row costs at least one byte and
 //	       the page body is under 32767 bytes)
-//	[2]    format version (2)
+//	[2]    format version (2, or 3 when a zone-map directory follows the
+//	       segment offsets — see zonemap.go; the builder writes 3)
 //	[3:5]  uint16 row count
 //	[5:7]  uint16 column count
 //	[7:..] column count × uint32 segment offsets (from the page start)
-//	then one self-contained segment per column, zero-padded to PageSize.
+//	then (version 3) one zone-map entry per column, then one self-contained
+//	segment per column, zero-padded to PageSize. The segment decoder reads
+//	both versions identically — it follows the absolute offsets.
 //
 // Each segment starts with an encoding tag:
 //
@@ -53,6 +56,12 @@ const PageSize = 32 * 1024
 const (
 	pageMagicV2  = 0xFFFF
 	pageVersion2 = 2
+
+	// pageVersion3 marks a v2-layout page that carries a per-column
+	// zone-map directory between the segment offsets and the first
+	// segment. The segment decoder is identical for both versions (it
+	// follows absolute offsets); only the zone reader cares.
+	pageVersion3 = 3
 
 	// pageV2FixedHeader is magic (2) + version (1) + nrows (2) + ncols (2).
 	pageV2FixedHeader = 7
@@ -249,6 +258,7 @@ type colBuilder struct {
 
 	dict      map[string]int32 // distinct strings (codes assigned at finish)
 	dictBytes int              // encoded size of the dictionary region
+	maxStrLen int              // longest dictionary entry (zone-map size bound)
 
 	nruns    int // kind runs so far
 	lastKind types.Kind
@@ -267,6 +277,7 @@ func (c *colBuilder) reset() {
 	c.minI, c.maxI = 0, 0
 	clear(c.dict)
 	c.dictBytes = 0
+	c.maxStrLen = 0
 	c.nruns = 0
 	c.rawBytes = 0
 }
@@ -280,6 +291,7 @@ type colProspect struct {
 	minI, maxI            int64
 	ndict                 int
 	dictBytes             int
+	maxStrLen             int
 	nruns                 int
 	rawBytes              int
 	dictAdd               bool // d.S joins the dictionary on commit
@@ -290,7 +302,7 @@ func (c *colBuilder) prospect(d types.Datum) colProspect {
 	p := colProspect{
 		intOK: c.intOK, floatOK: c.floatOK, strOK: c.strOK,
 		haveInt: c.haveInt, minI: c.minI, maxI: c.maxI,
-		ndict: len(c.dict), dictBytes: c.dictBytes,
+		ndict: len(c.dict), dictBytes: c.dictBytes, maxStrLen: c.maxStrLen,
 		nruns: c.nruns, rawBytes: c.rawBytes + datumEncSize(d),
 	}
 	if c.nruns == 0 || d.K != c.lastKind {
@@ -317,6 +329,9 @@ func (c *colBuilder) prospect(d types.Datum) colProspect {
 			p.dictAdd = true
 			p.ndict++
 			p.dictBytes += uvarintSize(uint64(len(d.S))) + len(d.S)
+			if len(d.S) > p.maxStrLen {
+				p.maxStrLen = len(d.S)
+			}
 		}
 	case types.KindNull:
 		// NULLs ride in the kind runs of any encoding.
@@ -349,6 +364,7 @@ func (c *colBuilder) commit(d types.Datum, p colProspect) {
 	c.nruns, c.lastKind = p.nruns, d.K
 	c.rawBytes = p.rawBytes
 	c.dictBytes = p.dictBytes
+	c.maxStrLen = p.maxStrLen
 	if p.dictAdd {
 		if c.dict == nil {
 			c.dict = make(map[string]int32)
@@ -530,7 +546,7 @@ func (b *pageBuilder) tryAppend(r types.Row) bool {
 	n := b.rows + 1
 	for i, d := range r {
 		prospects[i] = b.cols[i].prospect(d)
-		total += prospects[i].sizeUB(n)
+		total += prospects[i].sizeUB(n) + prospects[i].zoneUB()
 		if total > PageSize {
 			return false
 		}
@@ -548,12 +564,15 @@ func (b *pageBuilder) finish() []byte {
 	ncols := len(b.cols)
 	buf := b.buf[:0]
 	buf = binary.LittleEndian.AppendUint16(buf, pageMagicV2)
-	buf = append(buf, pageVersion2)
+	buf = append(buf, pageVersion3)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(b.rows))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(ncols))
 	dirOff := len(buf)
 	for i := 0; i < ncols; i++ {
 		buf = binary.LittleEndian.AppendUint32(buf, 0)
+	}
+	for i := range b.cols {
+		buf = appendZone(buf, b.cols[i].zone())
 	}
 	for i := range b.cols {
 		binary.LittleEndian.PutUint32(buf[dirOff+4*i:], uint32(len(buf)))
@@ -607,7 +626,7 @@ func pageVersion(page []byte) (int, error) {
 	if len(page) < pageV2FixedHeader {
 		return 0, fmt.Errorf("storage: short v2 page (%d bytes)", len(page))
 	}
-	if v := page[2]; v != pageVersion2 {
+	if v := page[2]; v != pageVersion2 && v != pageVersion3 {
 		return 0, fmt.Errorf("storage: unknown page format version %d", v)
 	}
 	return 2, nil

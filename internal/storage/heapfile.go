@@ -72,12 +72,15 @@ func (h *HeapFile) Append(rows ...types.Row) error {
 	return nil
 }
 
-// flushLocked writes the partially-filled builder page to disk.
+// flushLocked writes the partially-filled builder page to disk and
+// publishes the page's zone maps to the pool, so pruning works from the
+// first scan without ever fetching the page.
 func (h *HeapFile) flushLocked() error {
 	page := h.builder.finish()
 	if err := h.disk.WritePage(h.id, h.numPages, page); err != nil {
 		return err
 	}
+	h.pool.SetZones(h.id, h.numPages, ReadPageZones(page))
 	h.numPages++
 	return nil
 }
@@ -115,6 +118,17 @@ func (h *HeapFile) NumRows() int {
 
 // Prefetch requests page idx in the background (scan readahead).
 func (h *HeapFile) Prefetch(idx int) { h.pool.Prefetch(h.id, idx) }
+
+// PageZones returns page idx's per-column zone maps, or nil when unknown.
+// Reading zones never touches the disk or decodes the page.
+func (h *HeapFile) PageZones(idx int) []ZoneMap { return h.pool.Zones(h.id, idx) }
+
+// PageResident reports whether page idx is currently in the buffer pool
+// (the demand-first scan ordering hook).
+func (h *HeapFile) PageResident(idx int) bool { return h.pool.Contains(h.id, idx) }
+
+// NotePruned forwards a pruned-page event to the pool's counters.
+func (h *HeapFile) NotePruned() { h.pool.NotePruned() }
 
 // Page fetches page idx through the buffer pool and returns its decoded
 // rows. Rows are decoded once per pool residency and shared between callers;

@@ -78,11 +78,20 @@ func (fr *Frame) decodeLocked(ncols int) (writeBack []byte, err error) {
 			p.decodedV1.Add(1)
 			if page, ok := reencodePageV2(cb); ok {
 				copy(fr.data, page)
+				// The re-encode went through the builder, so the new
+				// page carries zone maps; publish them now rather than
+				// waiting for the write-back to land.
+				p.backfillZones(fr.key, ReadPageZones(page), cb)
 				return page, nil
 			}
 		} else {
 			p.decodedV2.Add(1)
 		}
+		// Pages that predate the zone directory (v1 pages that did not
+		// re-encode, version-2 pages) get bounds computed once per
+		// residency from the decoded columns, so they stop defeating
+		// pruning while they await migration.
+		p.backfillZones(fr.key, ReadPageZones(fr.data), cb)
 	}
 	return nil, nil
 }
@@ -146,11 +155,17 @@ type PoolStats struct {
 
 // DecodeStats count page decodes per on-disk format plus v1→v2 migrations,
 // the observability hook for the compat path's aging: on a converged system
-// DecodedV1 stops growing.
+// DecodedV1 stops growing. Fetched/Pruned/Decoded are the zone-map pruning
+// counters: Pruned pages were ruled out by zone maps before any fetch, so
+// on a selective clustered sweep Fetched+Pruned ≈ pages touched logically
+// while Fetched (and Decoded) stay proportional to the relevant pages only.
 type DecodeStats struct {
 	DecodedV1 int64 // pages decoded through the v1 transposing loop
 	DecodedV2 int64 // pages decoded through the v2 bulk column decoder
 	Migrated  int64 // v1 pages re-encoded as v2 and written back
+	Fetched   int64 // demand fetches served (pool hits + disk reads)
+	Pruned    int64 // page fetches avoided by zone-map pruning
+	Decoded   int64 // DecodedV1 + DecodedV2
 }
 
 // BufferPool caches disk pages in a fixed number of frames with clock
@@ -174,6 +189,16 @@ type BufferPool struct {
 	decodedV1 atomic.Int64
 	decodedV2 atomic.Int64
 	migrated  atomic.Int64
+	fetched   atomic.Int64
+	pruned    atomic.Int64
+
+	// Per-page zone maps, keyed like the frame table but never evicted
+	// (a few dozen bytes per page versus a 32KiB frame). Populated by the
+	// heap-file writer at flush time and backfilled by the first decode of
+	// pages that predate the zone directory. Page contents are immutable
+	// after flush, so entries never go stale.
+	zmu   sync.RWMutex
+	zones map[pageKey][]ZoneMap
 
 	prefetchGate chan struct{}
 }
@@ -187,6 +212,7 @@ func NewBufferPool(disk Disk, npages int) *BufferPool {
 		disk:         disk,
 		frames:       make([]*Frame, npages),
 		table:        make(map[pageKey]*Frame, npages),
+		zones:        make(map[pageKey][]ZoneMap),
 		prefetchGate: make(chan struct{}, 4),
 	}
 	for i := range p.frames {
@@ -202,6 +228,7 @@ func (p *BufferPool) Size() int { return len(p.frames) }
 // a miss. Concurrent fetches of the same missing page coalesce into a single
 // disk read.
 func (p *BufferPool) Fetch(f FileID, idx int) (*Frame, error) {
+	p.fetched.Add(1)
 	key := pageKey{file: f, idx: idx}
 	p.mu.Lock()
 	if fr, ok := p.table[key]; ok {
@@ -341,6 +368,49 @@ func (p *BufferPool) Contains(f FileID, idx int) bool {
 	return ok
 }
 
+// SetZones records the zone maps of page (f, idx); called by the heap-file
+// writer at flush time so zones are known before the page is ever fetched.
+func (p *BufferPool) SetZones(f FileID, idx int, zones []ZoneMap) {
+	key := pageKey{file: f, idx: idx}
+	p.zmu.Lock()
+	p.zones[key] = zones
+	p.zmu.Unlock()
+}
+
+// Zones returns the zone maps of page (f, idx), or nil when unknown (a nil
+// result never prunes).
+func (p *BufferPool) Zones(f FileID, idx int) []ZoneMap {
+	key := pageKey{file: f, idx: idx}
+	p.zmu.RLock()
+	z := p.zones[key]
+	p.zmu.RUnlock()
+	return z
+}
+
+// backfillZones publishes zone maps for a page first seen without them,
+// computing bounds from the decoded columns when the page bytes carry no
+// zone directory. No-op when the page's zones are already known.
+func (p *BufferPool) backfillZones(key pageKey, zones []ZoneMap, cb *vec.ColBatch) {
+	p.zmu.RLock()
+	_, known := p.zones[key]
+	p.zmu.RUnlock()
+	if known {
+		return
+	}
+	if zones == nil {
+		zones = ZonesFromBatch(cb)
+	}
+	p.zmu.Lock()
+	if _, known := p.zones[key]; !known {
+		p.zones[key] = zones
+	}
+	p.zmu.Unlock()
+}
+
+// NotePruned counts a page fetch avoided by zone-map pruning (the scan
+// layers report these; the pool never sees the page).
+func (p *BufferPool) NotePruned() { p.pruned.Add(1) }
+
 // Stats returns cumulative counters.
 func (p *BufferPool) Stats() PoolStats {
 	return PoolStats{
@@ -352,9 +422,13 @@ func (p *BufferPool) Stats() PoolStats {
 
 // DecodeStats returns cumulative per-format decode and migration counters.
 func (p *BufferPool) DecodeStats() DecodeStats {
+	v1, v2 := p.decodedV1.Load(), p.decodedV2.Load()
 	return DecodeStats{
-		DecodedV1: p.decodedV1.Load(),
-		DecodedV2: p.decodedV2.Load(),
+		DecodedV1: v1,
+		DecodedV2: v2,
 		Migrated:  p.migrated.Load(),
+		Fetched:   p.fetched.Load(),
+		Pruned:    p.pruned.Load(),
+		Decoded:   v1 + v2,
 	}
 }

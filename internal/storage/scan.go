@@ -18,12 +18,20 @@ type ScanGroup struct {
 	shared   bool
 	prefetch bool
 
+	// demandFirst orders each pruning cursor's fetches demand-first: pages
+	// that are both relevant (not zone-pruned) and pool-resident are served
+	// before cold ones, which move to the tail of the sweep. A selective
+	// query riding behind a 100%-selectivity sweep consumes the resident
+	// pages it needs and detaches without waiting for the full circle.
+	demandFirst bool
+
 	mu      sync.Mutex
 	cursors map[*ScanCursor]struct{}
 	// attaches counts Attach calls; attachShared counts those that joined an
 	// in-progress sweep (reported by the harness as shared-scan hits).
 	attaches     int64
 	attachShared int64
+	pruned       int64 // pages skipped by zone-map pruning
 }
 
 // NewScanGroup creates a scan coordinator for hf. If shared is false every
@@ -57,6 +65,27 @@ func (g *ScanGroup) prefetchOn() bool {
 	return g.prefetch
 }
 
+// SetDemandFirst toggles demand-first fetch ordering for pruning cursors
+// (enabled by disk-resident environments; affects future NextColsPruned
+// calls).
+func (g *ScanGroup) SetDemandFirst(v bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.demandFirst = v
+}
+
+func (g *ScanGroup) demandFirstOn() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.demandFirst
+}
+
+func (g *ScanGroup) notePruned() {
+	g.mu.Lock()
+	g.pruned++
+	g.mu.Unlock()
+}
+
 // ScanCursor delivers every page of the file exactly once, starting at the
 // attach position and wrapping circularly.
 type ScanCursor struct {
@@ -65,6 +94,10 @@ type ScanCursor struct {
 	next      int
 	remaining int
 	served    int64 // pages delivered, used to find the most advanced cursor
+
+	// deferred holds relevant-but-cold pages pushed to the tail of the
+	// sweep by demand-first ordering; each page is deferred at most once.
+	deferred []int
 }
 
 // Attach registers a new circular scan over the file.
@@ -151,6 +184,58 @@ func (c *ScanCursor) NextCols() (cb *vec.ColBatch, idx int, ok bool, err error) 
 	return cb, idx, true, nil
 }
 
+// PageCheck is a page-level can-match check over per-column zone maps
+// (compiled from a pushed-down predicate by expr.CompilePrune). A nil
+// zones slice means "unknown" and the check is not consulted.
+type PageCheck func(zones []ZoneMap) bool
+
+// NextColsPruned is NextCols with zone-map pruning and (when the group has
+// demand-first ordering enabled) demand-first fetch ordering. Pages whose
+// zone maps cannot satisfy check are skipped without being fetched or
+// decoded; under demand-first ordering, relevant pages that are not
+// pool-resident are pushed to the tail of the sweep so resident pages are
+// consumed first. Every non-pruned page is still delivered exactly once.
+// A nil check only applies the ordering.
+func (c *ScanCursor) NextColsPruned(check PageCheck) (cb *vec.ColBatch, idx int, ok bool, err error) {
+	hf := c.group.hf
+	demandFirst := c.group.demandFirstOn()
+	for {
+		idx, ok = c.Next()
+		inSweep := ok
+		if !ok {
+			// Main sweep exhausted: drain the deferred cold pages.
+			if len(c.deferred) == 0 {
+				return nil, 0, false, nil
+			}
+			idx = c.deferred[0]
+			c.deferred = c.deferred[1:]
+		}
+		if check != nil {
+			if z := hf.PageZones(idx); z != nil && !check(z) {
+				hf.NotePruned()
+				c.group.notePruned()
+				continue
+			}
+		}
+		if inSweep && demandFirst && !hf.PageResident(idx) {
+			c.deferred = append(c.deferred, idx)
+			continue
+		}
+		if c.group.prefetchOn() {
+			if !inSweep && len(c.deferred) > 0 {
+				hf.Prefetch(c.deferred[0])
+			} else if inSweep && c.numPages > 1 {
+				hf.Prefetch((idx + 1) % c.numPages)
+			}
+		}
+		cb, err = hf.PageCols(idx)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return cb, idx, true, nil
+	}
+}
+
 // Close detaches the cursor from its group.
 func (c *ScanCursor) Close() {
 	g := c.group
@@ -163,11 +248,12 @@ func (c *ScanCursor) Close() {
 type ScanGroupStats struct {
 	Attaches       int64
 	AttachedShared int64
+	PagesPruned    int64 // pages skipped by zone-map pruning across cursors
 }
 
 // Stats returns cumulative attach counters.
 func (g *ScanGroup) Stats() ScanGroupStats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return ScanGroupStats{Attaches: g.attaches, AttachedShared: g.attachShared}
+	return ScanGroupStats{Attaches: g.attaches, AttachedShared: g.attachShared, PagesPruned: g.pruned}
 }

@@ -1,0 +1,269 @@
+package storage
+
+import (
+	"encoding/binary"
+
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// Zone maps are per-column min-max summaries persisted in the page header
+// region of version-3 pages (the v2 column-major layout plus a zone
+// directory), readable without decoding any segment:
+//
+//	[dirEnd:..] one entry per column: a flags byte, then — when ZoneInt is
+//	            set — int64 min and max (8 bytes LE each), then — when
+//	            ZoneStr is set — the minimum and maximum string, each as
+//	            uvarint length + bytes.
+//
+// Int-class bounds cover int, date and bool rows (everything carried in the
+// int64 payload); string bounds are the sorted dictionary's first and last
+// entries. Bounds span only non-NULL rows — under the engine's NULL→false
+// predicate semantics a NULL row can never satisfy a pushed-down predicate,
+// so bounds over the non-NULL rows are exactly what a can-match check needs.
+// A column with no flag set is unknown (mixed value classes, floats, or a
+// pre-zone-map page) and must never prune.
+
+// ZoneMap flag bits.
+const (
+	// ZoneInt marks valid int-class bounds in MinI/MaxI.
+	ZoneInt uint8 = 1 << iota
+	// ZoneStr marks valid string bounds in MinS/MaxS.
+	ZoneStr
+	// ZoneNullOnly marks a column whose every row is NULL. It is recorded
+	// for observability but conservatively never prunes.
+	ZoneNullOnly
+)
+
+// ZoneMap summarizes one column of one page.
+type ZoneMap struct {
+	Flags      uint8
+	MinI, MaxI int64  // valid when Flags&ZoneInt != 0
+	MinS, MaxS string // valid when Flags&ZoneStr != 0
+}
+
+// Unknown reports whether the column carries no usable bounds (and so can
+// never rule a page out).
+func (z ZoneMap) Unknown() bool { return z.Flags&(ZoneInt|ZoneStr) == 0 }
+
+// zone derives the column's zone map from the builder's incremental state.
+// Called before encode(), so the dictionary codes are not assigned yet; the
+// string bounds come from a linear scan over the distinct entries.
+func (c *colBuilder) zone() ZoneMap {
+	var z ZoneMap
+	switch {
+	case c.intOK && c.haveInt:
+		z.Flags = ZoneInt
+		z.MinI, z.MaxI = c.minI, c.maxI
+	case c.strOK && len(c.dict) > 0:
+		first := true
+		for s := range c.dict {
+			if first {
+				z.MinS, z.MaxS = s, s
+				first = false
+				continue
+			}
+			if s < z.MinS {
+				z.MinS = s
+			}
+			if s > z.MaxS {
+				z.MaxS = s
+			}
+		}
+		z.Flags = ZoneStr
+	case c.intOK && c.floatOK && c.strOK && len(c.kinds) > 0:
+		// No typed value survived any candidate check and nothing was
+		// appended to the dictionary: every row is NULL.
+		z.Flags = ZoneNullOnly
+	}
+	return z
+}
+
+// appendZone appends the on-page encoding of one zone entry.
+func appendZone(buf []byte, z ZoneMap) []byte {
+	buf = append(buf, z.Flags)
+	if z.Flags&ZoneInt != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(z.MinI))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(z.MaxI))
+	}
+	if z.Flags&ZoneStr != 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(z.MinS)))
+		buf = append(buf, z.MinS...)
+		buf = binary.AppendUvarint(buf, uint64(len(z.MaxS)))
+		buf = append(buf, z.MaxS...)
+	}
+	return buf
+}
+
+// zoneUB bounds the on-page size of the column's zone entry for the size
+// accounting: the flags byte, the int bounds, and two length-prefixed
+// strings no longer than the longest dictionary entry seen so far.
+func (p colProspect) zoneUB() int {
+	ub := 1
+	if p.intOK {
+		ub += 16
+	}
+	if p.strOK {
+		ub += 2 * (uvarUB3 + p.maxStrLen)
+	}
+	return ub
+}
+
+// readZone parses one zone entry, returning the entry and remaining bytes.
+// Strings are copied out of the page so the zone map outlives the frame.
+func readZone(data []byte) (ZoneMap, []byte, bool) {
+	var z ZoneMap
+	if len(data) < 1 {
+		return z, nil, false
+	}
+	z.Flags = data[0]
+	data = data[1:]
+	if z.Flags&^(ZoneInt|ZoneStr|ZoneNullOnly) != 0 {
+		return z, nil, false
+	}
+	if z.Flags&ZoneInt != 0 {
+		if len(data) < 16 {
+			return z, nil, false
+		}
+		z.MinI = int64(binary.LittleEndian.Uint64(data))
+		z.MaxI = int64(binary.LittleEndian.Uint64(data[8:]))
+		data = data[16:]
+	}
+	if z.Flags&ZoneStr != 0 {
+		var ok bool
+		if z.MinS, data, ok = readZoneStr(data); !ok {
+			return z, nil, false
+		}
+		if z.MaxS, data, ok = readZoneStr(data); !ok {
+			return z, nil, false
+		}
+	}
+	return z, data, true
+}
+
+func readZoneStr(data []byte) (string, []byte, bool) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < l {
+		return "", nil, false
+	}
+	return string(data[n : n+int(l)]), data[n+int(l):], true
+}
+
+// ReadPageZones extracts the per-column zone maps persisted in a version-3
+// page. It returns nil — "unknown, never prune" — for v1 pages, pre-zone-map
+// v2 pages, empty pages, and anything malformed; a nil result is always a
+// safe answer.
+func ReadPageZones(page []byte) []ZoneMap {
+	if len(page) < pageV2FixedHeader ||
+		binary.LittleEndian.Uint16(page[0:2]) != pageMagicV2 ||
+		page[2] != pageVersion3 {
+		return nil
+	}
+	nrows := int(binary.LittleEndian.Uint16(page[3:5]))
+	ncols := int(binary.LittleEndian.Uint16(page[5:7]))
+	if nrows == 0 || ncols == 0 {
+		return nil
+	}
+	dirEnd := pageV2FixedHeader + 4*ncols
+	if len(page) < dirEnd {
+		return nil
+	}
+	// The zone directory must end before the first segment starts.
+	limit := len(page)
+	for c := 0; c < ncols; c++ {
+		off := int(binary.LittleEndian.Uint32(page[pageV2FixedHeader+4*c:]))
+		if off < dirEnd || off > len(page) {
+			return nil
+		}
+		if off < limit {
+			limit = off
+		}
+	}
+	zones := make([]ZoneMap, ncols)
+	data := page[dirEnd:limit]
+	for c := range zones {
+		var ok bool
+		if zones[c], data, ok = readZone(data); !ok {
+			return nil
+		}
+	}
+	return zones
+}
+
+// ZonesFromBatch computes the zone maps a version-3 encode of the batch
+// would carry — the backfill path for pages that predate zone maps (v1
+// pages awaiting migration, or v2 pages written before the zone directory
+// existed). Bounds are derived once per pool residency from the already
+// decoded columns, so pre-migration pages stop defeating pruning.
+func ZonesFromBatch(cb *vec.ColBatch) []ZoneMap {
+	if cb.Len() == 0 {
+		return nil
+	}
+	zones := make([]ZoneMap, cb.NumCols())
+	for c := range zones {
+		zones[c] = zoneFromVec(cb.Col(c), cb.Len())
+	}
+	return zones
+}
+
+// zoneFromVec derives one column's zone map from decoded data.
+func zoneFromVec(v *vec.Vec, n int) ZoneMap {
+	var z ZoneMap
+	intOK, strOK := true, true
+	haveInt, haveStr := false, false
+	nonNull := 0
+	for i := 0; i < n; i++ {
+		switch v.Kinds[i] {
+		case types.KindNull:
+			continue
+		case types.KindInt, types.KindDate, types.KindBool:
+			strOK = false
+			if !intOK {
+				continue
+			}
+			val := v.I[i]
+			if !haveInt {
+				haveInt, z.MinI, z.MaxI = true, val, val
+			} else {
+				if val < z.MinI {
+					z.MinI = val
+				}
+				if val > z.MaxI {
+					z.MaxI = val
+				}
+			}
+		case types.KindString:
+			intOK = false
+			if !strOK {
+				continue
+			}
+			s := v.S[i]
+			if !haveStr {
+				haveStr, z.MinS, z.MaxS = true, s, s
+			} else {
+				if s < z.MinS {
+					z.MinS = s
+				}
+				if s > z.MaxS {
+					z.MaxS = s
+				}
+			}
+		default:
+			intOK, strOK = false, false
+		}
+		nonNull++
+	}
+	switch {
+	case nonNull == 0:
+		z.Flags = ZoneNullOnly
+	case intOK && haveInt:
+		z.Flags = ZoneInt
+	case strOK && haveStr:
+		z.Flags = ZoneStr
+		return z
+	default:
+		z = ZoneMap{}
+	}
+	z.MinS, z.MaxS = "", ""
+	return z
+}

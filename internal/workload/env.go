@@ -49,6 +49,7 @@ type Env struct {
 
 	Residency Residency
 	PoolPages int
+	NoPrune   bool
 }
 
 // estimatePages over-approximates the page count of a generated database so
@@ -90,6 +91,12 @@ type EnvConfig struct {
 	// Workers is the number of parallel CJOIN probe pipelines
 	// (0 = GOMAXPROCS); it is the scenarios' workers=N axis.
 	Workers int
+	// DateClustered generates the fact table with monotone lo_orderdate
+	// (time-ordered ingest layout) so date windows map to page ranges.
+	DateClustered bool
+	// NoPrune disables zone-map page pruning in both the engine's table
+	// scans and the CJOIN shared scan (the ablation toggle).
+	NoPrune bool
 }
 
 // NewSSBEnv generates an SSB database and starts the CJOIN operator over
@@ -103,7 +110,7 @@ func NewSSBEnv(sf float64, res Residency, poolPages int, seed int64) (*Env, erro
 func NewSSBEnvCfg(cfg EnvConfig) (*Env, error) {
 	factRows := int(float64(ssb.LineorderRowsPerSF) * cfg.SF)
 	cat, disk, pool := newCatalog(factRows, cfg.Residency, cfg.PoolPages)
-	db, err := ssb.Generate(cat, cfg.SF, cfg.Seed)
+	db, err := ssb.GenerateOpts(cat, cfg.SF, cfg.Seed, ssb.GenOptions{DateClustered: cfg.DateClustered})
 	if err != nil {
 		return nil, fmt.Errorf("workload: generate ssb: %w", err)
 	}
@@ -112,11 +119,17 @@ func NewSSBEnvCfg(cfg EnvConfig) (*Env, error) {
 		{Table: db.Customer, FactKeyCol: ssb.LOCustKey, DimKeyCol: ssb.CCustKey},
 		{Table: db.Supplier, FactKeyCol: ssb.LOSuppKey, DimKeyCol: ssb.SSuppKey},
 		{Table: db.Part, FactKeyCol: ssb.LOPartKey, DimKeyCol: ssb.PPartKey},
-	}, cjoin.Config{Workers: cfg.Workers})
+	}, cjoin.Config{Workers: cfg.Workers, DisablePrune: cfg.NoPrune})
 	if err != nil {
 		return nil, fmt.Errorf("workload: start cjoin: %w", err)
 	}
-	return &Env{Cat: cat, Disk: disk, SSB: db, CJoin: op, Residency: cfg.Residency, PoolPages: pool}, nil
+	if cfg.Residency == DiskResident {
+		// Disk-resident sweeps benefit from demand-first ordering: pruning
+		// cursors consume resident relevant pages before paying for cold ones.
+		db.Lineorder.ScanGroup().SetDemandFirst(true)
+	}
+	return &Env{Cat: cat, Disk: disk, SSB: db, CJoin: op,
+		Residency: cfg.Residency, PoolPages: pool, NoPrune: cfg.NoPrune}, nil
 }
 
 // NewTPCHEnv generates the lineitem table for Scenario I.
@@ -135,6 +148,9 @@ func NewTPCHEnv(sf float64, res Residency, poolPages int, seed int64) (*Env, err
 func (env *Env) Engine(cfg engine.Config) *engine.Engine {
 	if cfg.Star == nil && env.CJoin != nil {
 		cfg.Star = env.CJoin
+	}
+	if env.NoPrune {
+		cfg.NoPrune = true
 	}
 	return engine.New(env.Cat, cfg)
 }

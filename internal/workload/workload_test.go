@@ -63,6 +63,59 @@ func TestGQPMatchesQueryCentricAcrossTemplates(t *testing.T) {
 	}
 }
 
+// Zone-map pruning must be invisible in results: the same query over the
+// same (date-clustered) database returns identical rows with pruning on and
+// off, for every SSB template and both execution strategies, plus the
+// pruning-heavy date-window template.
+func TestPruningOnOffEquivalenceAcrossTemplates(t *testing.T) {
+	mk := func(noPrune bool) *Env {
+		env, err := NewSSBEnvCfg(EnvConfig{SF: 0.0005, Residency: MemoryResident,
+			Seed: 5, DateClustered: true, NoPrune: noPrune})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	envOn := mk(false)
+	defer envOn.Close()
+	envOff := mk(true)
+	defer envOff.Close()
+	eOn, eOff := envOn.Engine(engine.Config{}), envOff.Engine(engine.Config{})
+	ctx := context.Background()
+
+	check := func(name string, mkPlan func(env *Env) ssb.Instance) {
+		t.Helper()
+		for _, useGQP := range []bool{false, true} {
+			on, err := eOn.Execute(ctx, mkPlan(envOn).Plan(useGQP))
+			if err != nil {
+				t.Fatalf("%s gqp=%v pruning on: %v", name, useGQP, err)
+			}
+			off, err := eOff.Execute(ctx, mkPlan(envOff).Plan(useGQP))
+			if err != nil {
+				t.Fatalf("%s gqp=%v pruning off: %v", name, useGQP, err)
+			}
+			mustEqualRows(t, on.Rows, off.Rows)
+		}
+	}
+	// Identical seeds instantiate identical template parameters in both
+	// environments.
+	rOn, rOff := rand.New(rand.NewSource(13)), rand.New(rand.NewSource(13))
+	for _, tpl := range ssb.AllTemplates {
+		check(tpl.String(), func(env *Env) ssb.Instance {
+			r := rOn
+			if env == envOff {
+				r = rOff
+			}
+			return ssb.Instantiate(env.SSB, tpl, r)
+		})
+	}
+	for _, sel := range []int{2, 10, 50} {
+		check("datewin", func(env *Env) ssb.Instance {
+			return ssb.DateWindow(env.SSB, sel, 400)
+		})
+	}
+}
+
 // Figure 2: identical star sub-plans with SP enabled on the CJOIN stage are
 // admitted once; satellites share the host's output through an SPL.
 func TestIntegrationSPOnCJoinAdmitsOnce(t *testing.T) {
