@@ -163,6 +163,11 @@ type (
 	ScenarioIVPruneConfig = workload.ScenarioIVPruneConfig
 	// ScenarioIVPruneResult holds the pruning-axis series.
 	ScenarioIVPruneResult = workload.ScenarioIVPruneResult
+	// ScenarioIIRepeatConfig parameterizes the Scenario II repeat-template
+	// axis (query folding + result cache vs both disabled).
+	ScenarioIIRepeatConfig = workload.ScenarioIIRepeatConfig
+	// ScenarioIIRepeatResult holds the repeat-axis series.
+	ScenarioIIRepeatResult = workload.ScenarioIIRepeatResult
 )
 
 // Scenario entry points.
@@ -178,6 +183,9 @@ var (
 	// RunScenarioIVPrune runs the Scenario IV pruning axis: date-window
 	// queries on a date-clustered fact table, pruning on vs off.
 	RunScenarioIVPrune = workload.RunScenarioIVPrune
+	// RunScenarioIIRepeat runs the Scenario II repeat-template axis:
+	// subsumption folding + materialized result cache vs both disabled.
+	RunScenarioIIRepeat = workload.RunScenarioIIRepeat
 )
 
 // Residency values.
@@ -202,6 +210,15 @@ type Config struct {
 	// value selects every default (notably Workers = GOMAXPROCS parallel
 	// probe pipelines). Invalid values surface as a LoadSSB error.
 	CJoin CJoinConfig
+	// DisableFold disables predicate-subsumption query folding at CJOIN
+	// admission (folding is on by default: a star query implied by one
+	// already sweeping shares its bitmap slot and applies only the
+	// residual predicate).
+	DisableFold bool
+	// DisableResultCache disables the materialized result cache in engines
+	// built by NewEngine (on by default: exact repeat templates answer
+	// from the previous materialization until a base table changes).
+	DisableResultCache bool
 }
 
 // System is an assembled database instance: a simulated disk, a buffer pool,
@@ -212,6 +229,7 @@ type System struct {
 	disk     *storage.MemDisk
 	gqp      *cjoin.Operator
 	gqpCfg   cjoin.Config
+	noCache  bool
 	ssbDB    *ssb.DB
 	lineitem *storage.Table
 }
@@ -230,7 +248,12 @@ func NewSystem(cfg Config) *System {
 		pool = 2048
 	}
 	disk := storage.NewMemDisk(profile)
-	return &System{cat: storage.NewCatalog(disk, pool, true), disk: disk, gqpCfg: cfg.CJoin}
+	gqpCfg := cfg.CJoin
+	if cfg.DisableFold {
+		gqpCfg.DisableFold = true
+	}
+	return &System{cat: storage.NewCatalog(disk, pool, true), disk: disk,
+		gqpCfg: gqpCfg, noCache: cfg.DisableResultCache}
 }
 
 // Catalog exposes the underlying catalog (table creation, buffer pool
@@ -283,10 +306,15 @@ func (s *System) SSB() *SSBDatabase { return s.ssbDB }
 func (s *System) Lineitem() *Table { return s.lineitem }
 
 // NewEngine builds an execution engine over the system, wiring the CJOIN
-// pipeline as the engine's StarRunner when one is running.
+// pipeline as the engine's StarRunner when one is running. Unless the
+// system was configured with DisableResultCache, the engine's materialized
+// result cache is enabled — callers must treat results as shared/read-only.
 func (s *System) NewEngine(cfg EngineConfig) *Engine {
 	if cfg.Star == nil && s.gqp != nil {
 		cfg.Star = s.gqp
+	}
+	if !s.noCache {
+		cfg.ResultCache = true
 	}
 	return engine.New(s.cat, cfg)
 }

@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	scenario    = flag.String("scenario", "all", "scenario to run: 1, 2, 3, 4, 4p (pruning axis) or all")
+	scenario    = flag.String("scenario", "all", "scenario to run: 1, 2, 2r (repeat axis), 3, 4, 4p (pruning axis) or all")
 	sf          = flag.Float64("sf", 0.01, "scale factor (fraction of SF=1; 0.01 = 60k fact rows)")
 	seed        = flag.Int64("seed", 1, "workload generation seed")
 	duration    = flag.Duration("duration", 2*time.Second, "throughput measurement duration per point")
@@ -39,6 +39,7 @@ var (
 	selectivity = flag.String("selectivity", "0.02,0.1,0.25,0.5,0.75,1.0", "scenario 3 x-axis")
 	plans       = flag.String("plans", "1,2,4,8,16,32", "scenario 4 x-axis")
 	pruneSel    = flag.String("prune-selectivity", "2,10,25,50,100", "scenario 4p x-axis: date-window selectivity in percent")
+	repeatPcts  = flag.String("repeat", "0,25,50,75,90", "scenario 2r x-axis: repeat-template probability in percent")
 	nclients    = flag.Int("nclients", 0, "fixed client count (scenario 3: default 2, scenario 4: default 16)")
 	template    = flag.String("template", "Q2.1", "SSB template for scenarios 2 and 4")
 	residency   = flag.String("residency", "", "override residency: memory or disk")
@@ -72,6 +73,12 @@ type benchRecord struct {
 	PagesDecoded int64 `json:"pages_decoded,omitempty"`
 	CJoinPruned  int64 `json:"cjoin_pages_pruned,omitempty"`
 	ZoneSkips    int64 `json:"zone_skips,omitempty"`
+
+	// Reuse observability (scenario 2r): result-cache hits and misses, and
+	// CJOIN admissions folded onto an already-running subsuming query.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
+	Grafts      int64 `json:"grafts,omitempty"`
 }
 
 // jsonRecords accumulates every scenario's points for the -json output.
@@ -174,7 +181,7 @@ func main() {
 
 	run := map[string]bool{}
 	if *scenario == "all" {
-		run["1"], run["2"], run["3"], run["4"], run["4p"] = true, true, true, true, true
+		run["1"], run["2"], run["2r"], run["3"], run["4"], run["4p"] = true, true, true, true, true, true
 	} else {
 		for _, s := range strings.Split(*scenario, ",") {
 			run[strings.TrimSpace(s)] = true
@@ -204,6 +211,9 @@ func main() {
 	}
 	if run["2"] {
 		runScenarioII(ctx)
+	}
+	if run["2r"] {
+		runScenarioIIRepeat(ctx)
 	}
 	if run["3"] {
 		runScenarioIII(ctx)
@@ -341,6 +351,55 @@ func runScenarioII(ctx context.Context) {
 		}
 	}
 	fmt.Println("\nexpected shape: the GQP line overtakes the query-centric line as concurrency grows.")
+}
+
+func runScenarioIIRepeat(ctx context.Context) {
+	n := *nclients
+	if n == 0 {
+		n = 8
+	}
+	cfg := repro.ScenarioIIRepeatConfig{
+		SF:              *sf,
+		RepeatPcts:      mustInts(*repeatPcts),
+		Clients:         n,
+		Duration:        *duration,
+		BufferPoolPages: *poolPages,
+		Seed:            *seed,
+		Workers:         *workers,
+	}
+	res, err := repro.RunScenarioIIRepeat(ctx, cfg)
+	if err != nil {
+		log.Fatalf("scenario IIr: %v", err)
+	}
+	header(fmt.Sprintf("Scenario IIr: query folding & result reuse — SSB, sf=%g, %d clients, disk-resident",
+		res.Config.SF, res.Config.Clients))
+	fmt.Printf("%-12s", "repeat")
+	for _, l := range res.Lines {
+		fmt.Printf("%16s", l+" q/s")
+	}
+	fmt.Printf("%12s%12s%12s\n", "hits", "misses", "grafts")
+	for _, pt := range res.Points {
+		fmt.Printf("%-12s", fmt.Sprintf("%d%%", pt.RepeatPct))
+		for _, l := range res.Lines {
+			fmt.Printf("%16.1f", pt.Throughput[l])
+		}
+		l := workload.LineReuse
+		fmt.Printf("%12d%12d%12d\n", pt.CacheHits[l], pt.CacheMisses[l], pt.Grafted[l])
+	}
+	for _, pt := range res.Points {
+		for _, l := range res.Lines {
+			jsonRecords = append(jsonRecords, benchRecord{
+				Scenario: "2r", Line: l, Axis: "repeat-pct", X: float64(pt.RepeatPct),
+				NsPerOp: float64(pt.MeanLatency[l].Nanoseconds()), QPS: pt.Throughput[l],
+				CacheHits: pt.CacheHits[l], CacheMisses: pt.CacheMisses[l],
+				Grafts: pt.Grafted[l],
+			})
+		}
+	}
+	fmt.Println("\nexpected shape: the lines start close at 0% repeats and diverge hard as the")
+	fmt.Println("repeat share grows — hot-set templates answer from the materialized result")
+	fmt.Println("cache without touching the fact table, and implied concurrent predicates")
+	fmt.Println("fold onto running sweeps instead of admitting their own.")
 }
 
 func runScenarioIII(ctx context.Context) {

@@ -96,6 +96,13 @@ type Config struct {
 	// DisablePrune turns off zone-map page pruning in the shared scan (the
 	// pruning-on/off ablation toggle; pruning is on by default).
 	DisablePrune bool
+	// DisableFold turns off predicate-subsumption query folding: with
+	// folding on (the default), a query whose fact predicate is implied by
+	// a running query's — and whose dimension set and predicates match it
+	// exactly — grafts onto that query's bitmap slot instead of taking its
+	// own, and the distributor applies only the residual predicate per
+	// routed tuple.
+	DisableFold bool
 }
 
 // MaxWorkers bounds Config.Workers; a larger value is almost certainly a
@@ -138,6 +145,8 @@ type Stats struct {
 	Admitted       int64 // queries admitted into the GQP
 	Completed      int64 // queries that finished a full sweep
 	Canceled       int64 // queries canceled mid-sweep
+	Grafted        int64 // admissions folded onto a running query's bitmap slot
+	SlotHighWater  int64 // highest bitmap slot count ever allocated
 	PagesScanned   int64 // fact pages read by the circular scan
 	PagesPruned    int64 // fact pages skipped whole: no attached query could match
 	ZoneSkips      int64 // (page, query) annotate passes skipped by zone maps
@@ -159,6 +168,11 @@ type ctlKind uint8
 const (
 	ctlAdmit ctlKind = iota
 	ctlFinish
+	// ctlRelease frees a host query's bitmap slot and dimension bits once
+	// its last grafted reader has finished. A host with live grafts gets
+	// ctlFinish (delivery ends) without the release; the release follows
+	// when the graft population drains.
+	ctlRelease
 )
 
 // ctlMsg is a pipeline control message for one query.
@@ -303,6 +317,38 @@ type subscription struct {
 	id        int // bitmap slot, assigned at admission
 	pagesLeft int // fact pages remaining in this query's sweep
 
+	// Fold (predicate-subsumption graft) state. factPredE/dimPredE keep the
+	// raw predicate expressions so admission can prove implication
+	// (expr.Subsumes) and dimension equality (expr.Equal) against running
+	// queries. A grafted query shares its host's bitmap slot: hostSub points
+	// at the host, and residual (the compiled leftover of its fact
+	// predicate, nil when the predicates match exactly) is evaluated by the
+	// distributor per routed tuple over the scratch row residRow, filled
+	// from the fact page's columns residCols.
+	factPredE expr.Expr
+	dimPredE  []expr.Expr // per operator dimension; nil = unconstrained
+
+	hostSub   *subscription
+	residual  func(types.Row) bool
+	residCols []int
+	residRow  types.Row
+
+	// Host-side graft bookkeeping. grafts is distributor-owned (live
+	// grafted readers fed from this query's bits); graftsLeft and finished
+	// are scanner-owned; holdBits is set by the scanner before publishing
+	// the host's finish tick and read by workers/distributor when that tick
+	// arrives (the channel send orders the accesses); closed and regd are
+	// distributor-owned dedupe flags (a held host stays registered after
+	// its delivery closes). Whether a canceled host must keep annotating
+	// for live grafts is tracked per worker (worker.held), because only
+	// epoch-ordered state is safe to consult against in-flight pages.
+	grafts     []*subscription
+	graftsLeft int
+	finished   bool
+	holdBits   bool
+	closed     bool
+	regd       bool
+
 	out      chan *batch.Batch
 	cancelCh chan struct{}
 	canceled atomic.Bool
@@ -345,6 +391,7 @@ type Operator struct {
 
 	stats struct {
 		admitted, completed, canceled        atomic.Int64
+		grafted, slotHighWater               atomic.Int64
 		pagesScanned, pagesPruned, zoneSkips atomic.Int64
 		factTuplesIn, droppedAtScan          atomic.Int64
 		probes, probeMisses, droppedInChain  atomic.Int64
@@ -430,6 +477,8 @@ func (op *Operator) Stats() Stats {
 		Admitted:       op.stats.admitted.Load(),
 		Completed:      op.stats.completed.Load(),
 		Canceled:       op.stats.canceled.Load(),
+		Grafted:        op.stats.grafted.Load(),
+		SlotHighWater:  op.stats.slotHighWater.Load(),
 		PagesScanned:   op.stats.pagesScanned.Load(),
 		PagesPruned:    op.stats.pagesPruned.Load(),
 		ZoneSkips:      op.stats.zoneSkips.Load(),
@@ -508,6 +557,8 @@ func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 		dimIdx:     make([]int, len(q.Dims)),
 		dimRef:     make([]bool, len(op.specs)),
 		dimPredVec: make([]expr.VecPred, len(op.specs)),
+		factPredE:  q.FactPred,
+		dimPredE:   make([]expr.Expr, len(op.specs)),
 	}
 	for i, d := range q.Dims {
 		idx, ok := op.byName[d.Table.Name]
@@ -521,6 +572,7 @@ func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 		}
 		sub.dimIdx[i] = idx
 		sub.dimRef[idx] = true
+		sub.dimPredE[idx] = d.Pred
 		if d.Pred != nil {
 			sub.dimPredVec[idx] = expr.CompileVec(d.Pred)
 		}
@@ -546,6 +598,43 @@ func (op *Operator) newSubscription(q *plan.StarQuery) (*subscription, error) {
 		}
 	}
 	return sub, nil
+}
+
+// graftHost returns a running query that sub can fold onto: an ungrafted,
+// uncanceled host over the same dimension set with structurally equal
+// dimension predicates whose fact predicate is implied by sub's
+// (expr.Subsumes is conservative, so a nil answer only costs a fresh
+// bitmap slot, never correctness). Called from the scanner goroutine.
+func (op *Operator) graftHost(active []*subscription, sub *subscription) *subscription {
+	if op.cfg.DisableFold {
+		return nil
+	}
+	for _, h := range active {
+		if h.hostSub != nil || h.err != nil || h.canceled.Load() {
+			continue
+		}
+		if !sameDims(h, sub) {
+			continue
+		}
+		if !expr.Subsumes(h.factPredE, sub.factPredE) {
+			continue
+		}
+		return h
+	}
+	return nil
+}
+
+// sameDims reports whether two queries constrain the dimension chain
+// identically: same referenced dimensions, structurally equal predicates.
+// The shared bitmap already folds in the host's dimension semijoins, so a
+// graft is only sound when they coincide exactly.
+func sameDims(a, b *subscription) bool {
+	for d := range a.dimRef {
+		if a.dimRef[d] != b.dimRef[d] || !expr.Equal(a.dimPredE[d], b.dimPredE[d]) {
+			return false
+		}
+	}
+	return true
 }
 
 // scan is the pipeline head: it owns the circular fact scan, the active
@@ -599,15 +688,51 @@ func (op *Operator) scan(fanIn chan<- *item) {
 		}
 		s := nextSlot
 		nextSlot++
+		op.stats.slotHighWater.Store(int64(nextSlot))
 		return s
 	}
 
 	admit := func(sub *subscription) ctlMsg {
-		sub.id = takeSlot()
+		if h := op.graftHost(active, sub); h != nil {
+			// Fold: share the host's bitmap slot; the distributor applies
+			// the residual predicate per routed tuple. Compiling here is
+			// fine — admission is off the per-page hot path.
+			sub.hostSub = h
+			sub.id = h.id
+			if re := expr.Residual(h.factPredE, sub.factPredE); re != nil {
+				sub.residual = expr.Compile(re)
+				sub.residCols = expr.ColSet(re, nil)
+				sub.residRow = make(types.Row, op.fact.Schema.Len())
+			}
+			h.graftsLeft++
+			op.stats.grafted.Add(1)
+		} else {
+			sub.id = takeSlot()
+		}
 		sub.pagesLeft = npages
 		active = append(active, sub)
 		op.stats.admitted.Add(1)
 		return ctlMsg{kind: ctlAdmit, sub: sub}
+	}
+
+	// finishSub appends the control messages retiring sub. A host whose
+	// grafts are still sweeping keeps its bits (holdBits); the release
+	// follows the last graft's finish. Hosts precede their grafts in
+	// active, so a host and its last graft finishing on the same tick emit
+	// finish(host), finish(graft), release(host) — in that order.
+	finishSub := func(sub *subscription, post []ctlMsg) []ctlMsg {
+		sub.finished = true
+		if sub.hostSub == nil {
+			sub.holdBits = sub.graftsLeft > 0
+			return append(post, ctlMsg{kind: ctlFinish, sub: sub})
+		}
+		post = append(post, ctlMsg{kind: ctlFinish, sub: sub})
+		h := sub.hostSub
+		h.graftsLeft--
+		if h.graftsLeft == 0 && h.finished {
+			post = append(post, ctlMsg{kind: ctlRelease, sub: h})
+		}
+		return post
 	}
 
 	// broadcast publishes one control tick: the epoch to every worker, and
@@ -702,7 +827,7 @@ func (op *Operator) scan(fanIn chan<- *item) {
 					post := make([]ctlMsg, 0, len(active))
 					for _, sub := range active {
 						sub.err = err
-						post = append(post, ctlMsg{kind: ctlFinish, sub: sub})
+						post = finishSub(sub, post)
 					}
 					active = active[:0]
 					if !broadcast(nil, post) {
@@ -756,7 +881,7 @@ func (op *Operator) scan(fanIn chan<- *item) {
 				sub.pagesLeft--
 			}
 			if sub.pagesLeft <= 0 || sub.canceled.Load() {
-				post = append(post, ctlMsg{kind: ctlFinish, sub: sub})
+				post = finishSub(sub, post)
 			} else {
 				remaining = append(remaining, sub)
 			}
@@ -802,7 +927,10 @@ func (w *worker) annotate(it *item, active []*subscription, nslots int) {
 	zonesLoaded := false
 	var zskips int64
 	for _, sub := range active {
-		if sub.canceled.Load() {
+		// A canceled host keeps annotating while grafted readers still
+		// consume its bits (this worker's epoch-ordered held count);
+		// canceled queries nothing reads skip.
+		if sub.canceled.Load() && w.held[sub] == 0 {
 			continue
 		}
 		if sub.prune != nil {
@@ -1339,12 +1467,31 @@ type worker struct {
 	active []*subscription // replica of the scanner's active list
 	nslots int             // high-water bitmap slot count among admitted queries
 
+	// held counts this worker's view of live grafted readers per host: a
+	// graft's ctlAdmit increments, its ctlFinish decrements. Both are
+	// epoch-ordered against every page in this worker's queue, so "does a
+	// graft still consume this host's bits?" is answered correctly for the
+	// page being annotated — a shared flag mutated by the scanner would
+	// race with in-flight pages (the scanner moves on as soon as a page is
+	// queued) and drop annotation of a canceled host's final held pages.
+	held map[*subscription]int
+
 	scratch vec.Scratch // vectorized-predicate temporaries, worker-owned
 	selBuf  []int32     // per-query selection buffer, sized to the page
 }
 
-// admit applies one admission to the worker's replicas.
+// admit applies one admission to the worker's replicas. Grafted queries
+// are invisible to the workers: they read their host's bits, so admitting
+// them here would double-annotate (and retiring them would clear the
+// host's bits — they share a slot).
 func (w *worker) admit(sub *subscription) {
+	if h := sub.hostSub; h != nil {
+		if w.held == nil {
+			w.held = make(map[*subscription]int)
+		}
+		w.held[h]++
+		return
+	}
 	if sub.id+1 > w.nslots {
 		w.nslots = sub.id + 1
 	}
@@ -1354,8 +1501,27 @@ func (w *worker) admit(sub *subscription) {
 	}
 }
 
-// retire applies one retirement to the worker's replicas.
+// retire applies one retirement to the worker's replicas. A host holding
+// its bits for live grafts stays active (annotate keeps producing the
+// shared bitmap column) until its ctlRelease arrives.
 func (w *worker) retire(sub *subscription) {
+	if h := sub.hostSub; h != nil {
+		if n := w.held[h] - 1; n > 0 {
+			w.held[h] = n
+		} else {
+			delete(w.held, h)
+		}
+		return
+	}
+	if sub.holdBits {
+		return
+	}
+	w.drop(sub)
+}
+
+// drop removes a query's bits from this worker's replicas.
+func (w *worker) drop(sub *subscription) {
+	delete(w.held, sub)
 	for i, s := range w.active {
 		if s == sub {
 			w.active = append(w.active[:i], w.active[i+1:]...)
@@ -1382,8 +1548,11 @@ func (w *worker) run() {
 				}
 			}
 			for _, c := range msg.ep.post {
-				if c.kind == ctlFinish {
+				switch c.kind {
+				case ctlFinish:
 					w.retire(c.sub)
+				case ctlRelease:
+					w.drop(c.sub)
 				}
 			}
 			w.op.addBusy(time.Since(t0))
@@ -1508,15 +1677,28 @@ func (d *distributor) route(sub *subscription, it *item, ti int) {
 	}
 }
 
-// register indexes an admitted subscription by its bitmap slot.
+// register indexes an admitted subscription by its bitmap slot; grafted
+// queries hang off their host instead (they share its slot). regd dedupes
+// the shutdown path, which re-registers from the reorder ring and the
+// straggler list.
 func (d *distributor) register(sub *subscription) {
+	if sub.regd {
+		return
+	}
+	sub.regd = true
+	if h := sub.hostSub; h != nil {
+		h.grafts = append(h.grafts, sub)
+		return
+	}
 	for sub.id >= len(d.subs) {
 		d.subs = append(d.subs, nil)
 	}
 	d.subs[sub.id] = sub
 }
 
-// finish retires a query: flush, close, recycle its bitmap slot.
+// finish retires a query: flush, close, and — unless the query is a host
+// still feeding grafted readers, or itself a graft — recycle its bitmap
+// slot.
 func (d *distributor) finish(sub *subscription) {
 	d.deliver(sub)
 	if sub.canceled.Load() {
@@ -1525,13 +1707,59 @@ func (d *distributor) finish(sub *subscription) {
 		d.op.stats.completed.Add(1)
 	}
 	close(sub.out)
-	if sub.id < len(d.subs) {
+	sub.closed = true
+	if h := sub.hostSub; h != nil {
+		// The slot is the host's; just detach from its graft list.
+		for i, g := range h.grafts {
+			if g == sub {
+				h.grafts = append(h.grafts[:i], h.grafts[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	if sub.holdBits {
+		return // grafts still read these bits; ctlRelease recycles the slot
+	}
+	d.release(sub)
+}
+
+// release recycles a query's bitmap slot.
+func (d *distributor) release(sub *subscription) {
+	if sub.id < len(d.subs) && d.subs[sub.id] == sub {
 		d.subs[sub.id] = nil
 	}
 	select {
 	case d.op.freeCh <- sub.id:
 	default: // free list full; the slot is simply not reused
 	}
+}
+
+// routeAll fans one surviving tuple out to the slot's query and every
+// grafted reader whose residual predicate accepts it.
+func (d *distributor) routeAll(sub *subscription, it *item, ti int) {
+	if !sub.closed {
+		d.route(sub, it, ti)
+	}
+	for _, g := range sub.grafts {
+		if g.closed || g.canceled.Load() {
+			continue
+		}
+		if g.residual != nil && !residualMatch(g, it, ti) {
+			continue
+		}
+		d.route(g, it, ti)
+	}
+}
+
+// residualMatch evaluates a graft's residual fact predicate over the
+// tuple, filling only the referenced columns of the scratch row.
+func residualMatch(g *subscription, it *item, ti int) bool {
+	r := int(it.rowIdx[ti])
+	for _, c := range g.residCols {
+		g.residRow[c] = it.cols.Col(c).Datum(r)
+	}
+	return g.residual(g.residRow)
 }
 
 // process handles one tick: admissions, tuple routing, retirements.
@@ -1551,15 +1779,18 @@ func (d *distributor) process(it *item) {
 				w &= w - 1
 				if id < len(d.subs) {
 					if sub := d.subs[id]; sub != nil {
-						d.route(sub, it, i)
+						d.routeAll(sub, it, i)
 					}
 				}
 			}
 		}
 	}
 	for _, c := range it.post {
-		if c.kind == ctlFinish {
+		switch c.kind {
+		case ctlFinish:
 			d.finish(c.sub)
+		case ctlRelease:
+			d.release(c.sub)
 		}
 	}
 	if d.routed > 0 {
@@ -1581,8 +1812,12 @@ func (d *distributor) run() {
 	// worker exited, so no more ticks can arrive; ticks dropped on the way
 	// down may have left sequence gaps, so first recover admissions parked
 	// in the reorder ring and the scanner's still-active list, then fail
-	// every remaining query. Each subscription occupies exactly one bitmap
-	// slot, so the final loop closes each output channel exactly once.
+	// every remaining query. Registration is deduped by regd and closing
+	// by closed (grafted queries share their host's slot, so slot
+	// uniqueness alone no longer guarantees exactly-once); a graft always
+	// reaches its host via hostSub, and every unfinished host lands in
+	// d.subs through the recovery passes, so walking d.subs and each
+	// entry's graft list covers every open output channel.
 	for _, it := range d.ring {
 		if it == nil {
 			continue
@@ -1602,8 +1837,21 @@ func (d *distributor) run() {
 		if sub == nil {
 			continue
 		}
+		for _, g := range sub.grafts {
+			if g.closed {
+				continue
+			}
+			g.err = ErrClosed
+			d.deliver(g)
+			close(g.out)
+			g.closed = true
+		}
+		if sub.closed {
+			continue
+		}
 		sub.err = ErrClosed
 		d.deliver(sub)
 		close(sub.out)
+		sub.closed = true
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -51,6 +52,15 @@ type Config struct {
 	// NoPrune disables zone-map page pruning in table scans (the
 	// pruning-on/off ablation toggle; pruning is on by default).
 	NoPrune bool
+
+	// ResultCache enables the bounded materialized result cache: plans are
+	// fingerprinted and exact repeat templates answered from the previous
+	// materialization, until any table they read changes. Results served
+	// from the cache are shared between callers — treat Result.Rows as
+	// read-only when the cache is on.
+	ResultCache bool
+	// ResultCacheSize bounds the number of cached results (default 256).
+	ResultCacheSize int
 }
 
 func (c *Config) withDefaults() Config {
@@ -72,6 +82,7 @@ type Engine struct {
 	cat    *storage.Catalog
 	cfg    Config
 	stages [plan.KindCJoin + 1]*Stage
+	cache  *resultCache // nil unless Config.ResultCache
 }
 
 // New creates an engine over the catalog.
@@ -80,6 +91,9 @@ func New(cat *storage.Catalog, cfg Config) *Engine {
 	for k := plan.KindScan; k <= plan.KindCJoin; k++ {
 		sp := e.cfg.SP && (e.cfg.SPStages == nil || e.cfg.SPStages[k])
 		e.stages[k] = newStage(k, sp)
+	}
+	if cfg.ResultCache {
+		e.cache = newResultCache(cfg.ResultCacheSize)
 	}
 	return e
 }
@@ -106,13 +120,32 @@ var closedGate = func() chan struct{} {
 	return ch
 }()
 
-// Execute runs one plan to completion and materializes its result.
+// Execute runs one plan to completion and materializes its result. With the
+// result cache enabled, an exact repeat of a previously executed template
+// (same fingerprint, unchanged tables) returns the shared materialization
+// without dispatching any packet.
 func (e *Engine) Execute(ctx context.Context, root plan.Node) (*Result, error) {
+	var fp expr.Fp
+	var snap cacheSnap
+	if e.cache != nil {
+		fp = plan.Fingerprint(root)
+		if res, ok := e.cache.get(fp); ok {
+			return res, nil
+		}
+		// Snapshot table versions before dispatch: a concurrent append
+		// mid-execution leaves the stored entry stale, so the next lookup
+		// invalidates instead of serving a torn read.
+		snap = snapshotTables(root)
+	}
 	r, err := e.dispatch(ctx, root, closedGate)
 	if err != nil {
 		return nil, err
 	}
-	return drain(ctx, root, r)
+	res, err := drain(ctx, root, r)
+	if err == nil && e.cache != nil {
+		e.cache.put(fp, res, snap.files, snap.vers)
+	}
+	return res, err
 }
 
 // ExecuteBatch dispatches all plans before any packet starts producing, then
@@ -120,14 +153,35 @@ func (e *Engine) Execute(ctx context.Context, root plan.Node) (*Result, error) {
 // queries in batches, which maximizes SP opportunities (Scenario IV) because
 // every common sub-plan is registered before any sharing window can close.
 func (e *Engine) ExecuteBatch(ctx context.Context, roots []plan.Node) ([]*Result, error) {
+	results := make([]*Result, len(roots))
+	var fps []expr.Fp
+	var snaps []cacheSnap
+	if e.cache != nil {
+		fps = make([]expr.Fp, len(roots))
+		snaps = make([]cacheSnap, len(roots))
+		for i, root := range roots {
+			fps[i] = plan.Fingerprint(root)
+			if res, ok := e.cache.get(fps[i]); ok {
+				results[i] = res
+			} else {
+				snaps[i] = snapshotTables(root)
+			}
+		}
+	}
+
 	gate := make(chan struct{})
 	readers := make([]Reader, len(roots))
 	for i, root := range roots {
+		if results[i] != nil {
+			continue // served from the result cache
+		}
 		r, err := e.dispatch(ctx, root, gate)
 		if err != nil {
 			close(gate)
 			for _, prev := range readers[:i] {
-				prev.Close()
+				if prev != nil {
+					prev.Close()
+				}
 			}
 			return nil, err
 		}
@@ -135,14 +189,19 @@ func (e *Engine) ExecuteBatch(ctx context.Context, roots []plan.Node) ([]*Result
 	}
 	close(gate)
 
-	results := make([]*Result, len(roots))
 	errs := make([]error, len(roots))
 	var wg sync.WaitGroup
 	for i := range roots {
+		if readers[i] == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			results[i], errs[i] = drain(ctx, roots[i], readers[i])
+			if errs[i] == nil && e.cache != nil {
+				e.cache.put(fps[i], results[i], snaps[i].files, snaps[i].vers)
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -258,6 +317,12 @@ type EngineStats struct {
 	// (wall time x GOMAXPROCS) is the CPU-utilisation proxy reported by the
 	// Scenario I harness.
 	Busy time.Duration
+
+	// Result-cache counters; all zero when Config.ResultCache is off.
+	CacheHits          int64
+	CacheMisses        int64
+	CacheEvictions     int64
+	CacheInvalidations int64
 }
 
 // Stats snapshots engine counters.
@@ -267,6 +332,9 @@ func (e *Engine) Stats() EngineStats {
 		s := st.Stats()
 		out.Stages = append(out.Stages, s)
 		out.Busy += s.Busy
+	}
+	if e.cache != nil {
+		out.CacheHits, out.CacheMisses, out.CacheEvictions, out.CacheInvalidations = e.cache.stats()
 	}
 	return out
 }

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// resultCache is the engine's bounded materialized result cache: finished
+// query results keyed by plan fingerprint, answering exact repeat templates
+// without touching the fact table. Entries pin the content versions of
+// every base table the plan read — any append (or seal) to any of them
+// makes the entry invalid wholesale on the next lookup. Eviction is LRU.
+//
+// Cached *Result values are shared across callers and must be treated as
+// read-only; the engine itself never mutates a materialized Result.
+type resultCache struct {
+	mu   sync.Mutex
+	max  int
+	m    map[expr.Fp]*cacheEntry
+	head *cacheEntry // most recently used
+	tail *cacheEntry // least recently used
+
+	hits, misses, evictions, invalidations int64
+}
+
+type cacheEntry struct {
+	fp         expr.Fp
+	res        *Result
+	files      []*storage.HeapFile
+	vers       []uint64
+	prev, next *cacheEntry
+}
+
+// defaultResultCacheSize bounds the cache when Config.ResultCacheSize is 0.
+const defaultResultCacheSize = 256
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		max = defaultResultCacheSize
+	}
+	return &resultCache{max: max, m: make(map[expr.Fp]*cacheEntry, max)}
+}
+
+func (c *resultCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *resultCache) pushFront(e *cacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// get returns the cached result for fp if present and still valid. The hot
+// path (fingerprint → map probe → version compare) allocates nothing.
+func (c *resultCache) get(fp expr.Fp) (*Result, bool) {
+	c.mu.Lock()
+	e := c.m[fp]
+	if e == nil {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	for i, f := range e.files {
+		if f.Version() != e.vers[i] {
+			c.unlink(e)
+			delete(c.m, fp)
+			c.invalidations++
+			c.misses++
+			c.mu.Unlock()
+			return nil, false
+		}
+	}
+	c.hits++
+	if c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	res := e.res
+	c.mu.Unlock()
+	return res, true
+}
+
+// put stores a finished result under fp with the table versions snapshot
+// taken BEFORE execution started — if a table changed mid-run the entry is
+// already stale and the next get discards it, never serving a torn read.
+func (c *resultCache) put(fp expr.Fp, res *Result, files []*storage.HeapFile, vers []uint64) {
+	c.mu.Lock()
+	if e := c.m[fp]; e != nil {
+		e.res, e.files, e.vers = res, files, vers
+		if c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+		c.mu.Unlock()
+		return
+	}
+	e := &cacheEntry{fp: fp, res: res, files: files, vers: vers}
+	c.m[fp] = e
+	c.pushFront(e)
+	if len(c.m) > c.max {
+		ev := c.tail
+		c.unlink(ev)
+		delete(c.m, ev.fp)
+		c.evictions++
+	}
+	c.mu.Unlock()
+}
+
+// cacheSnap is a pre-execution snapshot of the base tables a plan reads.
+type cacheSnap struct {
+	files []*storage.HeapFile
+	vers  []uint64
+}
+
+func snapshotTables(root plan.Node) cacheSnap {
+	tables := plan.Tables(root, nil)
+	s := cacheSnap{
+		files: make([]*storage.HeapFile, len(tables)),
+		vers:  make([]uint64, len(tables)),
+	}
+	for i, t := range tables {
+		s.files[i] = t.File
+		s.vers[i] = t.File.Version()
+	}
+	return s
+}
+
+// cacheStats snapshots the counters.
+func (c *resultCache) stats() (hits, misses, evictions, invalidations int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.invalidations
+}

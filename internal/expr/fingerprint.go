@@ -1,0 +1,153 @@
+package expr
+
+import (
+	"math"
+
+	"repro/internal/types"
+)
+
+// Fp is a 128-bit structural fingerprint: two independent FNV-style byte
+// streams over a canonical encoding of an expression (or plan) tree.
+// Structurally Equal expressions always produce the same Fp; distinct
+// trees collide with negligible probability. Fp is comparable and
+// allocation-free to compute, so it serves as a map key for exact-template
+// matching in the materialized result cache.
+type Fp struct{ Hi, Lo uint64 }
+
+const (
+	fpOffsetHi = 0xcbf29ce484222325 // FNV-1a 64-bit offset basis
+	fpOffsetLo = 0x9747b28c84222325
+	fpPrimeHi  = 0x100000001b3      // FNV 64-bit prime
+	fpPrimeLo  = 0x9e3779b97f4a7c15 // golden-ratio odd multiplier
+)
+
+// canonical quiet-NaN payload so that all NaN constants (which Equal treats
+// as identical) hash identically.
+const fpNaNBits = 0x7ff8000000000001
+
+// FpHasher accumulates a fingerprint over a canonical byte stream. Use
+// NewFpHasher; the zero value hashes everything to zero.
+type FpHasher struct{ hi, lo uint64 }
+
+// NewFpHasher returns a hasher seeded with the offset bases.
+func NewFpHasher() FpHasher { return FpHasher{hi: fpOffsetHi, lo: fpOffsetLo} }
+
+// Byte folds one byte into both streams.
+func (h *FpHasher) Byte(b byte) {
+	h.hi = (h.hi ^ uint64(b)) * fpPrimeHi
+	h.lo = (h.lo ^ uint64(b)) * fpPrimeLo
+}
+
+// U64 folds a 64-bit value, little-endian.
+func (h *FpHasher) U64(v uint64) {
+	for i := 0; i < 64; i += 8 {
+		h.Byte(byte(v >> i))
+	}
+}
+
+// Str folds a length-prefixed string.
+func (h *FpHasher) Str(s string) {
+	h.U64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.Byte(s[i])
+	}
+}
+
+// Sum returns the accumulated fingerprint.
+func (h *FpHasher) Sum() Fp { return Fp{Hi: h.hi, Lo: h.lo} }
+
+// Node tags for the canonical expression encoding. Values are part of the
+// fingerprint; do not reorder.
+const (
+	fpTagNil byte = iota + 1
+	fpTagCol
+	fpTagConst
+	fpTagCmp
+	fpTagBetween
+	fpTagIn
+	fpTagAnd
+	fpTagOr
+	fpTagNot
+	fpTagArith
+	fpTagOpaque
+)
+
+// AddExpr folds e's structure into the hasher; nil gets a distinct marker.
+func (h *FpHasher) AddExpr(e Expr) {
+	if e == nil {
+		h.Byte(fpTagNil)
+		return
+	}
+	switch n := e.(type) {
+	case Col:
+		h.Byte(fpTagCol)
+		h.U64(uint64(n.Idx))
+	case Const:
+		h.Byte(fpTagConst)
+		h.AddDatum(n.D)
+	case Cmp:
+		h.Byte(fpTagCmp)
+		h.Byte(byte(n.Op))
+		h.AddExpr(n.L)
+		h.AddExpr(n.R)
+	case Between:
+		h.Byte(fpTagBetween)
+		h.AddExpr(n.E)
+		h.AddExpr(n.Lo)
+		h.AddExpr(n.Hi)
+	case In:
+		h.Byte(fpTagIn)
+		h.AddExpr(n.E)
+		h.U64(uint64(len(n.Set)))
+		for _, d := range n.Set {
+			h.AddDatum(d)
+		}
+	case And:
+		h.Byte(fpTagAnd)
+		h.AddExpr(n.L)
+		h.AddExpr(n.R)
+	case Or:
+		h.Byte(fpTagOr)
+		h.AddExpr(n.L)
+		h.AddExpr(n.R)
+	case Not:
+		h.Byte(fpTagNot)
+		h.AddExpr(n.E)
+	case Arith:
+		h.Byte(fpTagArith)
+		h.Byte(byte(n.Op))
+		h.AddExpr(n.L)
+		h.AddExpr(n.R)
+	default:
+		// Unknown extension node: fall back to its canonical signature.
+		h.Byte(fpTagOpaque)
+		h.Str(e.Signature())
+	}
+}
+
+// AddDatum folds a literal: kind tag plus payload, with every NaN collapsed
+// to one bit pattern (mirroring Equal).
+func (h *FpHasher) AddDatum(d types.Datum) {
+	h.Byte(byte(d.K))
+	switch d.K {
+	case types.KindNull:
+	case types.KindFloat:
+		bits := math.Float64bits(d.F)
+		if math.IsNaN(d.F) {
+			bits = fpNaNBits
+		}
+		h.U64(bits)
+	case types.KindString:
+		h.Str(d.S)
+	default:
+		h.U64(uint64(d.I))
+	}
+}
+
+// Fingerprint returns the canonical fingerprint of e (nil is TRUE and has
+// its own stable fingerprint).
+func Fingerprint(e Expr) Fp {
+	h := NewFpHasher()
+	h.AddExpr(e)
+	return h.Sum()
+}

@@ -11,6 +11,17 @@
 // Pages are released once every attached consumer has read past them
 // (watermark reclamation), and the producer blocks when the list holds
 // MaxPages unread pages, which bounds memory and provides backpressure.
+//
+// The SPL is one of two delivery-sharing layers above the CJOIN global
+// plan, and they compose. SP on the CJOIN stage shares *identical* star
+// sub-plans: one admission, satellites pulling the host packet's joined
+// tuples through an SPL. Predicate-subsumption folding (internal/cjoin)
+// shares *implied* predicates inside the operator: a grafted query reads
+// its host's bitmap column and applies only its residual predicate, so it
+// never becomes an SPL producer of its own. A grafted reader's delivery is
+// its host's delivery filtered — which is why grafting needs no SPL
+// machinery, only the refcounted bitmap hold that keeps the host's bits
+// alive until every grafted consumer drains.
 package spl
 
 import (

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 	"repro/internal/vec"
@@ -22,6 +23,11 @@ type HeapFile struct {
 	numPages int
 	numRows  int
 	sealed   bool
+
+	// version counts content mutations (appends, sealing). Readers that
+	// cache derived results (the engine's materialized result cache)
+	// snapshot it and treat any change as wholesale invalidation.
+	version atomic.Uint64
 }
 
 // NewHeapFile creates an empty heap file named name on the disk.
@@ -69,8 +75,15 @@ func (h *HeapFile) Append(rows ...types.Row) error {
 		}
 		h.numRows++
 	}
+	if len(rows) > 0 {
+		h.version.Add(1)
+	}
 	return nil
 }
+
+// Version returns the content version counter: it changes whenever rows
+// are appended or the file is sealed, never otherwise. Lock-free.
+func (h *HeapFile) Version() uint64 { return h.version.Load() }
 
 // flushLocked writes the partially-filled builder page to disk and
 // publishes the page's zone maps to the pool, so pruning works from the
@@ -99,6 +112,7 @@ func (h *HeapFile) Seal() error {
 		}
 	}
 	h.sealed = true
+	h.version.Add(1)
 	return nil
 }
 

@@ -97,6 +97,9 @@ type EnvConfig struct {
 	// NoPrune disables zone-map page pruning in both the engine's table
 	// scans and the CJOIN shared scan (the ablation toggle).
 	NoPrune bool
+	// NoFold disables predicate-subsumption query folding at CJOIN
+	// admission (the reuse ablation toggle; folding is on by default).
+	NoFold bool
 }
 
 // NewSSBEnv generates an SSB database and starts the CJOIN operator over
@@ -119,7 +122,7 @@ func NewSSBEnvCfg(cfg EnvConfig) (*Env, error) {
 		{Table: db.Customer, FactKeyCol: ssb.LOCustKey, DimKeyCol: ssb.CCustKey},
 		{Table: db.Supplier, FactKeyCol: ssb.LOSuppKey, DimKeyCol: ssb.SSuppKey},
 		{Table: db.Part, FactKeyCol: ssb.LOPartKey, DimKeyCol: ssb.PPartKey},
-	}, cjoin.Config{Workers: cfg.Workers, DisablePrune: cfg.NoPrune})
+	}, cjoin.Config{Workers: cfg.Workers, DisablePrune: cfg.NoPrune, DisableFold: cfg.NoFold})
 	if err != nil {
 		return nil, fmt.Errorf("workload: start cjoin: %w", err)
 	}

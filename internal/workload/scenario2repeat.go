@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/ssb"
+)
+
+// Scenario II repeat-template axis: predicate-subsumption folding and the
+// materialized result cache against repetitive workloads.
+
+// Repeat-axis line labels.
+const (
+	LineReuse   = "reuse"   // folding + result cache on
+	LineNoReuse = "noreuse" // both disabled — every query recomputes
+)
+
+// ScenarioIIRepeatConfig parameterizes the Scenario II repeat-template
+// axis: disk-resident SSB, closed-loop clients drawing from a small hot set
+// of exact-repeat instances with probability repeat% (the x-axis), and
+// freshly instantiated cold queries — distinct template parameters every
+// draw, so neither the cache nor folding can trivially reuse them —
+// otherwise. The identical workload runs twice — with subsumption folding
+// plus the materialized result cache, and with both disabled — so the gap
+// isolates what reuse buys as repetitiveness grows.
+type ScenarioIIRepeatConfig struct {
+	SF              float64
+	RepeatPcts      []int // x-axis: probability (percent) of a hot-set draw
+	Clients         int
+	HotSet          int // distinct hot instances answering repeat draws
+	Duration        time.Duration
+	BufferPoolPages int
+	Seed            int64
+	// Workers is the CJOIN probe parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c ScenarioIIRepeatConfig) withDefaults() ScenarioIIRepeatConfig {
+	if c.SF <= 0 {
+		c.SF = 0.01
+	}
+	if len(c.RepeatPcts) == 0 {
+		c.RepeatPcts = []int{0, 25, 50, 75, 90}
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.HotSet <= 0 {
+		c.HotSet = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ScenarioIIRepeatPoint is one repeat-probability point with the reuse
+// observability counters behind the throughput numbers: result-cache hits
+// and misses, and CJOIN admissions that folded onto a running query.
+type ScenarioIIRepeatPoint struct {
+	RepeatPct   int
+	Throughput  map[string]float64
+	MeanLatency map[string]time.Duration
+	CacheHits   map[string]int64
+	CacheMisses map[string]int64
+	Grafted     map[string]int64
+	Admitted    map[string]int64
+}
+
+// ScenarioIIRepeatResult is the full repeat-axis series.
+type ScenarioIIRepeatResult struct {
+	Config ScenarioIIRepeatConfig
+	Lines  []string
+	Points []ScenarioIIRepeatPoint
+}
+
+// RunScenarioIIRepeat measures query folding and result reuse against
+// workload repetitiveness. Expected shape: the lines start close at 0%
+// (folding alone helps only when concurrent predicates overlap) and
+// diverge hard as the repeat share grows — hot-set queries answer from the
+// materialized cache without touching the fact table.
+func RunScenarioIIRepeat(ctx context.Context, cfg ScenarioIIRepeatConfig) (*ScenarioIIRepeatResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ScenarioIIRepeatResult{Config: cfg, Lines: []string{LineReuse, LineNoReuse}}
+	res.Points = make([]ScenarioIIRepeatPoint, len(cfg.RepeatPcts))
+	for i, pct := range cfg.RepeatPcts {
+		res.Points[i] = ScenarioIIRepeatPoint{
+			RepeatPct:   pct,
+			Throughput:  make(map[string]float64),
+			MeanLatency: make(map[string]time.Duration),
+			CacheHits:   make(map[string]int64),
+			CacheMisses: make(map[string]int64),
+			Grafted:     make(map[string]int64),
+			Admitted:    make(map[string]int64),
+		}
+	}
+	for _, line := range res.Lines {
+		// One environment per line: folding is fixed at CJOIN construction.
+		// Identical seed → bit-identical data either way.
+		reuse := line == LineReuse
+		env, err := NewSSBEnvCfg(EnvConfig{SF: cfg.SF, Residency: DiskResident,
+			PoolPages: cfg.BufferPoolPages, Seed: cfg.Seed, Workers: cfg.Workers,
+			NoFold: !reuse})
+		if err != nil {
+			return nil, err
+		}
+		// The hot set is drawn once per environment so every repeat point
+		// replays the same templates; hot draws rotate over the 13
+		// templates for plan diversity. Cold draws instantiate fresh below.
+		r := rand.New(rand.NewSource(cfg.Seed + 7))
+		hot := make([]ssb.Instance, cfg.HotSet)
+		for j := range hot {
+			hot[j] = ssb.Instantiate(env.SSB, ssb.AllTemplates[j%len(ssb.AllTemplates)], r)
+		}
+		for i, pct := range cfg.RepeatPcts {
+			e := env.Engine(engine.Config{ResultCache: reuse})
+			cjBefore := env.CJoin.Stats()
+			src := func(r *rand.Rand) plan.Node {
+				if r.Intn(100) < pct {
+					return hot[r.Intn(len(hot))].Plan(true)
+				}
+				tpl := ssb.AllTemplates[r.Intn(len(ssb.AllTemplates))]
+				return ssb.Instantiate(env.SSB, tpl, r).Plan(true)
+			}
+			m, err := throughput(ctx, e, env.CJoinBusy, cfg.Clients, cfg.Duration, false, src, cfg.Seed+int64(pct))
+			if err != nil {
+				env.Close()
+				return nil, err
+			}
+			cjAfter := env.CJoin.Stats()
+			est := e.Stats()
+			pt := &res.Points[i]
+			pt.Throughput[line] = m.Throughput
+			pt.MeanLatency[line] = m.MeanLatency
+			pt.CacheHits[line] = est.CacheHits
+			pt.CacheMisses[line] = est.CacheMisses
+			pt.Grafted[line] = cjAfter.Grafted - cjBefore.Grafted
+			pt.Admitted[line] = cjAfter.Admitted - cjBefore.Admitted
+		}
+		env.Close()
+	}
+	return res, nil
+}
