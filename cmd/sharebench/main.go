@@ -448,7 +448,9 @@ func runScenarioIII(ctx context.Context) {
 		}
 	}
 	fmt.Println("\nexpected shape: at low concurrency the GQP's bitmap bookkeeping keeps it below")
-	fmt.Println("query-centric operators across the sweep.")
+	fmt.Println("query-centric operators across the sweep; the join-template lines sit below their")
+	fmt.Println("no-join counterparts (extra supplier join), with the columnar join lines strictly")
+	fmt.Println("above the row-materializing join-rows ablation.")
 }
 
 func runScenarioIV(ctx context.Context) {

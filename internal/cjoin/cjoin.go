@@ -206,14 +206,16 @@ type wmsg struct {
 //
 // Tuples live in flat arenas so a page costs zero steady-state allocations:
 // tuple i is row rowIdx[i] of the page's column batch cols, its query bitmap
-// is the word slice words[i*stride:(i+1)*stride], and its joined row for
-// dimension j is dims[rowIdx[i]*ndims+j] — dims is indexed by the tuple's
-// page row, which never changes, so the probe loop's in-place compaction
-// moves only rowIdx and the bitmap words as tuples die, never the joined
-// rows. A dims slot is only ever read for a (tuple, query) pair whose bit
-// survived that dimension's probe, which implies the probe hit and wrote
-// the slot on the current page — so stale slots from a recycled item are
-// never observed and need not be cleared.
+// is the word slice words[i*stride:(i+1)*stride], and its joined entry for
+// dimension j is dimEnt[rowIdx[i]*ndims+j] — an index into that dimension
+// table's entry-aligned column batch, so the distributor routes dimension
+// payloads with typed column copies instead of boxing datums. dimEnt is
+// indexed by the tuple's page row, which never changes, so the probe loop's
+// in-place compaction moves only rowIdx and the bitmap words as tuples die,
+// never the joined entries. A dimEnt slot is only ever read for a (tuple,
+// query) pair whose bit survived that dimension's probe, which implies the
+// probe hit and wrote the slot on the current page — so stale slots from a
+// recycled item are never observed and need not be cleared.
 type item struct {
 	seq  int64
 	page int // fact page index of a data tick (zone-map lookup key)
@@ -225,12 +227,12 @@ type item struct {
 	// distributor recycles the item.
 	cols *vec.ColBatch
 
-	n      int         // live tuples
-	stride int         // bitmap words per tuple
-	ndims  int         // dimension slots per tuple
-	rowIdx []int32     // rowIdx[:n]: live tuple i → row index in cols
-	dims   []types.Row // dims[r*ndims+j]: joined row of dim j for page row r
-	words  []uint64    // words[i*stride:(i+1)*stride]: tuple i's bitmap
+	n      int      // live tuples
+	stride int      // bitmap words per tuple
+	ndims  int      // dimension slots per tuple
+	rowIdx []int32  // rowIdx[:n]: live tuple i → row index in cols
+	dimEnt []int32  // dimEnt[r*ndims+j]: joined entry of dim j for page row r
+	words  []uint64 // words[i*stride:(i+1)*stride]: tuple i's bitmap
 }
 
 // ensure sizes the arenas for n tuples with the given bitmap stride.
@@ -241,10 +243,10 @@ func (it *item) ensure(n, stride, ndims int) {
 	} else {
 		it.rowIdx = it.rowIdx[:n]
 	}
-	if cap(it.dims) < n*ndims {
-		it.dims = make([]types.Row, n*ndims)
+	if cap(it.dimEnt) < n*ndims {
+		it.dimEnt = make([]int32, n*ndims)
 	} else {
-		it.dims = it.dims[:n*ndims]
+		it.dimEnt = it.dimEnt[:n*ndims]
 	}
 	if cap(it.words) < n*stride {
 		it.words = make([]uint64, n*stride)
@@ -264,10 +266,10 @@ func (op *Operator) getItem() *item {
 // putItem recycles an item after the distributor is done with it. Control
 // slots are zeroed so pooled items do not pin retired subscriptions across
 // idle periods, and the item's reference on the page batch is released back
-// to the columnar cache's pool. The dimension-row arena is left as is:
-// stale slots reference rows the dimension tables pin for the operator's
-// lifetime anyway, and the probe loop never reads a slot it did not write
-// on the current page.
+// to the columnar cache's pool. The dimension-entry arena is left as is:
+// stale slots are plain indices into tables that live for the operator's
+// lifetime, and the probe loop never reads a slot it did not write on the
+// current page.
 func (op *Operator) putItem(it *item) {
 	for i := range it.pre {
 		it.pre[i] = ctlMsg{}
@@ -1405,7 +1407,7 @@ func (ds *dimState) processTuples(it *item) {
 			words[n] = w
 			rowIdx[n] = rowIdx[i]
 			if ei >= 0 {
-				it.dims[r*nd+dt.idx] = dt.rows[ei]
+				it.dimEnt[r*nd+dt.idx] = int32(ei)
 			}
 			n++
 		}
@@ -1437,7 +1439,7 @@ func (ds *dimState) processTuples(it *item) {
 				copy(it.words[n*stride:(n+1)*stride], tw)
 			}
 			if ei >= 0 {
-				it.dims[r*nd+dt.idx] = dt.rows[ei]
+				it.dimEnt[r*nd+dt.idx] = int32(ei)
 			}
 			n++
 		}
@@ -1652,8 +1654,10 @@ func (d *distributor) deliver(sub *subscription) {
 
 // route appends the joined output tuple for sub column-wise, following the
 // route map precomputed at subscription time: fact columns copy typed
-// payloads straight from the page batch, dimension payload columns append
-// the joined row's datums.
+// payloads straight from the page batch, and dimension payload columns copy
+// typed payloads from the dimension table's entry-aligned column batch at
+// the tuple's joined entry — the whole route loop is typed end to end, no
+// Datum boxing on either kind of column.
 func (d *distributor) route(sub *subscription, it *item, ti int) {
 	if sub.canceled.Load() {
 		return
@@ -1667,7 +1671,8 @@ func (d *distributor) route(sub *subscription, it *item, ti int) {
 		if rc.dim < 0 {
 			sub.pendCols.Col(ci).AppendFrom(it.cols.Col(rc.col), r)
 		} else {
-			sub.pendCols.Col(ci).AppendDatum(it.dims[dimBase+rc.dim][rc.col])
+			ei := int(it.dimEnt[dimBase+rc.dim])
+			sub.pendCols.Col(ci).AppendFrom(d.op.tables[rc.dim].cb.Col(rc.col), ei)
 		}
 	}
 	sub.pendN++

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// drainWriter consumes join output without materializing rows, so the
+// benchmark measures the operator, not the test harness's row conversion.
+type drainWriter struct{ n int }
+
+func (w *drainWriter) Put(ctx context.Context, b *batch.Batch) error {
+	w.n += b.Len()
+	b.Done()
+	return nil
+}
+
+func (w *drainWriter) Close(err error) {}
+
+// runJoin drives opHashJoin over in-memory batch streams (the engine's
+// RowJoin config selects the row-materializing baseline vs the columnar
+// build/probe operator).
+func runJoin(t testing.TB, e *Engine, n *plan.HashJoin, left, right []*batch.Batch) int {
+	t.Helper()
+	st := newStage(plan.KindHashJoin, false)
+	w := &drainWriter{}
+	if err := e.opHashJoin(context.Background(), n, &sliceReader{batches: left}, &sliceReader{batches: right}, w, st); err != nil {
+		t.Fatalf("opHashJoin: %v", err)
+	}
+	return w.n
+}
+
+// BenchmarkHashJoin measures the per-tuple probe cost of the hash join on
+// the exchange's native currency — view batches — across build cardinalities
+// (64 = a tiny dimension, 4096 = an SSB-sized dimension) and probe match
+// rates:
+//
+//   - line=rows: the retained row-materializing operator (map of boxed Row
+//     slices, per-row Datum hashing, Concat per output row) — the baseline
+//     the acceptance criterion compares against.
+//   - line=cols: the columnar joinTable build/probe with AppendGather
+//     output assembly.
+//
+// The ns/tuple metric is the acceptance number: cols must be >= 2x better
+// than rows at dimension-sized build sides. The perf-smoke CI job
+// additionally gates line=cols allocs/op (a per-batch budget — steady-state
+// probing allocates output shells and arena growth, never per row).
+func BenchmarkHashJoin(b *testing.B) {
+	const nrows, nbatches = 1024, 32
+	cat := storage.NewCatalog(storage.NewMemDisk(storage.DiskProfile{}), 32, true)
+	lt, err := cat.CreateTable("bl", types.NewSchema(
+		types.Column{Name: "lk", Kind: types.KindInt},
+		types.Column{Name: "lv", Kind: types.KindInt},
+		types.Column{Name: "ls", Kind: types.KindString},
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := cat.CreateTable("br", types.NewSchema(
+		types.Column{Name: "rk", Kind: types.KindInt},
+		types.Column{Name: "rs", Kind: types.KindString},
+		types.Column{Name: "rv", Kind: types.KindInt},
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := plan.NewHashJoin(plan.NewScan(lt), plan.NewScan(rt), 0, 0)
+
+	for _, build := range []int{64, 4096} {
+		for _, hit := range []int{100, 25} {
+			r := rand.New(rand.NewSource(int64(build*1000 + hit)))
+
+			// Build side: distinct int keys 0..build-1 with a dict payload,
+			// in page-sized view batches like a scanned dimension.
+			var buildCBs []*vec.ColBatch
+			for done := 0; done < build; done += nrows {
+				n := min(nrows, build-done)
+				cb := vec.Get(3)
+				dict := cb.Col(1).BulkDict(16)
+				for d := range dict {
+					dict[d] = fmt.Sprintf("nation-%02d", d)
+				}
+				cb.Col(1).AppendKindRun(types.KindString, n)
+				codes := cb.Col(1).BulkI(n)
+				strs := cb.Col(1).BulkS(n)
+				for i := 0; i < n; i++ {
+					cb.Col(0).AppendDatum(types.NewInt(int64(done + i)))
+					codes[i] = int64(i % 16)
+					strs[i] = dict[codes[i]]
+					cb.Col(2).AppendDatum(types.NewInt(int64(i)))
+				}
+				cb.Seal(n)
+				buildCBs = append(buildCBs, cb)
+			}
+			// Probe side: keys drawn from a domain sized so `hit` percent of
+			// probes land on a build key (each hit joins exactly one row).
+			domain := build * 100 / hit
+			probeCBs := make([]*vec.ColBatch, nbatches)
+			for bi := range probeCBs {
+				cb := vec.Get(3)
+				for i := 0; i < nrows; i++ {
+					cb.Col(0).AppendDatum(types.NewInt(int64(r.Intn(domain))))
+					cb.Col(1).AppendDatum(types.NewInt(int64(i)))
+					cb.Col(2).AppendDatum(types.NewString("pad"))
+				}
+				cb.Seal(nrows)
+				probeCBs[bi] = cb
+			}
+			views := func(cbs []*vec.ColBatch) []*batch.Batch {
+				out := make([]*batch.Batch, len(cbs))
+				for i, cb := range cbs {
+					cb.Retain()
+					out[i] = batch.FromView(cb, nil, nil)
+				}
+				return out
+			}
+			tuples := float64(nrows * nbatches)
+
+			for _, line := range []struct {
+				name    string
+				rowJoin bool
+			}{{"rows", true}, {"cols", false}} {
+				name := fmt.Sprintf("line=%s/build=%d/hit=%d", line.name, build, hit)
+				b.Run(name, func(b *testing.B) {
+					e := &Engine{cfg: (&Config{RowJoin: line.rowJoin}).withDefaults()}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						l, rr := views(probeCBs), views(buildCBs)
+						b.StartTimer()
+						runJoin(b, e, node, l, rr)
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tuples/float64(b.N), "ns/tuple")
+				})
+			}
+			for _, cb := range buildCBs {
+				cb.Release()
+			}
+			for _, cb := range probeCBs {
+				cb.Release()
+			}
+		}
+	}
+}

@@ -291,9 +291,123 @@ func (e *Engine) opProject(ctx context.Context, n *plan.Project, in Reader, w Wr
 	}
 }
 
-// opHashJoin builds a hash table over the right input and streams the left
-// input through it (single-column equi-join).
+// opHashJoin is the columnar hash join (single-column equi-join): the right
+// input builds into a joinTable — key hashes from the shared HashFold
+// kernel, payload columns appended as typed arenas — and each left batch
+// probes in a vectorized loop that resolves matches as (probe row, build
+// entry) pairs. Output is a pooled ColBatch whose columns gather typed
+// payloads from the left batch and the build arenas (vec.AppendGather); no
+// Row is materialized on either side, duplicate build keys chain in the
+// arena, and NULL join keys never match. Row batches on either input (sort
+// and aggregate outputs, push-model clones) run through the same table via
+// per-datum paths with identical hashing, so mixed streams join
+// consistently. Config.RowJoin selects the row-at-a-time baseline instead
+// (the perf ablation).
 func (e *Engine) opHashJoin(ctx context.Context, n *plan.HashJoin, left, right Reader, w Writer, st *Stage) error {
+	if e.cfg.RowJoin {
+		return e.opHashJoinRows(ctx, n, left, right, w, st)
+	}
+	leftW := n.Left.Schema().Len()
+	rightW := n.Right.Schema().Len()
+	jt := newJoinTable(rightW, n.RightCol)
+	var scr joinScratch
+	// Build phase.
+	for {
+		b, err := right.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		if cb, sel, ok := b.Cols(); ok {
+			if sel == nil {
+				sel = cb.AllSel()
+			}
+			jt.buildCols(cb, sel, &scr)
+		} else {
+			jt.buildRows(b.RowsView())
+		}
+		b.Done()
+		st.addBusy(time.Since(t0))
+	}
+	// Probe phase. Matches accumulate into a pending output batch that is
+	// sealed and published at the configured batch size, like the CJOIN
+	// distributor's pending columns.
+	var pend *vec.ColBatch
+	pendN := 0
+	flush := func() error {
+		if pend == nil || pendN == 0 {
+			return nil
+		}
+		cb := pend
+		cb.Seal(pendN)
+		pend, pendN = nil, 0
+		return w.Put(ctx, batch.FromView(cb, nil, nil))
+	}
+	for {
+		b, err := left.Next(ctx)
+		if err == io.EOF {
+			return flush()
+		}
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		if jt.n == 0 { // empty build side: nothing can match, just drain
+			b.Done()
+			st.addBusy(time.Since(t0))
+			continue
+		}
+		cb, sel, isView := b.Cols()
+		if isView {
+			if sel == nil {
+				sel = cb.AllSel()
+			}
+			jt.probeCols(cb.Col(n.LeftCol), sel, &scr)
+		} else {
+			scr.ml, scr.me = scr.ml[:0], scr.me[:0]
+			for i, l := range b.RowsView() {
+				jt.probeRow(l[n.LeftCol], int32(i), &scr)
+			}
+		}
+		if len(scr.ml) > 0 {
+			if pend == nil {
+				pend = vec.Get(leftW + rightW)
+			}
+			if isView {
+				for c := 0; c < leftW; c++ {
+					pend.Col(c).AppendGather(cb.Col(c), scr.ml)
+				}
+			} else {
+				rows := b.RowsView()
+				for _, li := range scr.ml {
+					l := rows[li]
+					for c := 0; c < leftW; c++ {
+						pend.Col(c).AppendDatum(l[c])
+					}
+				}
+			}
+			for c := 0; c < rightW; c++ {
+				pend.Col(leftW+c).AppendGather(&jt.cols[c], scr.me)
+			}
+			pendN += len(scr.ml)
+		}
+		b.Done()
+		st.addBusy(time.Since(t0))
+		if pendN >= e.cfg.BatchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// opHashJoinRows is the row-materializing hash join the columnar operator
+// replaced, kept behind Config.RowJoin as the rows-vs-cols ablation baseline
+// (BenchmarkHashJoin, sharebench's join-rows line).
+func (e *Engine) opHashJoinRows(ctx context.Context, n *plan.HashJoin, left, right Reader, w Writer, st *Stage) error {
 	// Build phase.
 	ht := make(map[uint64][]types.Row)
 	for {

@@ -395,6 +395,40 @@ func ParametricWindow(db *DB, width, start int64) Instance {
 	}
 }
 
+// ParametricWindowJoin is the Scenario III join-above-the-exchange variant:
+// the ParametricWindow star output carries lo_suppkey, is hash-joined with
+// the supplier table in the engine's join stage, and revenue is grouped by
+// s_nation. The supplier join sits above the exchange in both plan flavors
+// (below the CJOIN output or the query-centric star), so the line measures
+// the engine hash join's build/probe path under the scenario mix, with a
+// dimension-sized build side.
+func ParametricWindowJoin(db *DB, width, start int64) Instance {
+	star := &plan.StarQuery{
+		Fact: db.Lineorder,
+		FactPred: expr.NewBetween(expr.C(LOQuantity, "lo_quantity"),
+			expr.Int(start+1), expr.Int(start+width)),
+		FactCols: []int{LORevenue, LOSuppKey},
+		Dims: []plan.DimJoin{{
+			Table: db.Date, FactKeyCol: LOOrderDate, DimKeyCol: DDateKey, PayloadCols: []int{DYear},
+		}},
+	}
+	return Instance{
+		Name: fmt.Sprintf("paramjoin(sel=%d%%,start=%d)", width*2, start),
+		Star: star,
+		Build: func(out plan.Node) plan.Node {
+			s := out.Schema()
+			j := plan.NewHashJoin(out, plan.NewScan(db.Supplier),
+				s.MustColIndex("lo_suppkey"), SSuppKey)
+			js := j.Schema()
+			return plan.NewAggregate(j,
+				[]plan.GroupCol{{Name: "s_nation", Kind: types.KindString,
+					Expr: expr.C(js.MustColIndex("s_nation"), "s_nation")}},
+				[]plan.AggSpec{{Func: plan.AggSum,
+					Arg: expr.C(js.MustColIndex("lo_revenue"), "lo_revenue"), Name: "revenue"}})
+		},
+	}
+}
+
 // DateWindow is the Scenario IV pruning axis workhorse: revenue by year over
 // fact rows with lo_orderdate in a contiguous calendar window covering
 // selPct percent of the 1992-1998 calendar, starting at day offset start.

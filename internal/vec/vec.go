@@ -238,6 +238,49 @@ func (v *Vec) AppendFrom(src *Vec, i int) {
 	}
 }
 
+// AppendGather appends rows idxs of src to v in order: the bulk form of
+// AppendFrom with the kind dispatch hoisted out of the loop. Homogeneous
+// source columns (the common case — a join's key-verified build arena or a
+// scanned page column) copy payloads in one tight typed loop; mixed or
+// NULL-bearing columns fall back to per-row AppendFrom. Dictionary coding
+// does not propagate, exactly as in AppendFrom.
+func (v *Vec) AppendGather(src *Vec, idxs []int32) {
+	if len(idxs) == 0 {
+		return
+	}
+	n := len(v.Kinds)
+	switch {
+	case src.AllInt():
+		v.flags &^= flagAllFloat | flagAllStr
+		v.I = padI(v.I, n)
+		sk, si := src.Kinds, src.I
+		for _, r := range idxs {
+			v.Kinds = append(v.Kinds, sk[r])
+			v.I = append(v.I, si[r])
+		}
+	case src.AllFloat():
+		v.flags &^= flagAllInt | flagAllStr
+		v.F = padF(v.F, n)
+		sf := src.F
+		for _, r := range idxs {
+			v.Kinds = append(v.Kinds, types.KindFloat)
+			v.F = append(v.F, sf[r])
+		}
+	case src.AllStr():
+		v.flags &^= flagAllInt | flagAllFloat
+		v.S = padS(v.S, n)
+		ss := src.S
+		for _, r := range idxs {
+			v.Kinds = append(v.Kinds, types.KindString)
+			v.S = append(v.S, ss[r])
+		}
+	default:
+		for _, r := range idxs {
+			v.AppendFrom(src, int(r))
+		}
+	}
+}
+
 // Datum reconstructs row i as a types.Datum. The payload array for the
 // row's kind is guaranteed to cover index i by construction.
 func (v *Vec) Datum(i int) types.Datum {

@@ -15,6 +15,15 @@ const (
 	LineQPipeSP = "qpipe+sp" // query-centric operators with SP on all stages
 	LineGQP     = "gqp"      // CJOIN global query plan (SP off for the CJOIN stage)
 	LineGQPSP   = "gqp+sp"   // CJOIN with SP enabled for the CJOIN stage
+
+	// Scenario III join-template lines: ParametricWindowJoin puts a
+	// supplier hash join above the exchange in both plan flavors, so these
+	// lines measure the engine join stage under the scenario mix. The -rows
+	// line forces the row-materializing join (the pre-columnar baseline the
+	// acceptance criterion compares against).
+	LineJoinQPipe = "qpipe+sp+join"      // columnar join, query-centric plans
+	LineJoinGQP   = "gqp+join"           // columnar join above the CJOIN output
+	LineJoinRows  = "qpipe+sp+join-rows" // row-materializing join ablation
 )
 
 // allStages enables SP for every stage except the listed exclusions.
@@ -229,7 +238,8 @@ func RunScenarioIII(ctx context.Context, cfg ScenarioIIIConfig) (*ScenarioIIIRes
 	}
 	defer env.Close()
 
-	res := &ScenarioIIIResult{Config: cfg, Lines: []string{LineQPipeSP, LineGQP}}
+	res := &ScenarioIIIResult{Config: cfg, Lines: []string{LineQPipeSP, LineGQP,
+		LineJoinQPipe, LineJoinGQP, LineJoinRows}}
 	for _, sel := range cfg.Selectivities {
 		width := int64(sel*50 + 0.5)
 		if width < 1 {
@@ -246,14 +256,19 @@ func RunScenarioIII(ctx context.Context, cfg ScenarioIIIConfig) (*ScenarioIIIRes
 			Allocs:      make(map[string]float64),
 		}
 		for _, line := range res.Lines {
-			useGQP := line == LineGQP
+			useGQP := line == LineGQP || line == LineJoinGQP
+			joinTpl := line == LineJoinQPipe || line == LineJoinGQP || line == LineJoinRows
 			ecfg := qpipeSPConfig()
 			if useGQP {
 				ecfg = gqpConfig()
 			}
+			ecfg.RowJoin = line == LineJoinRows
 			e := env.Engine(ecfg)
 			src := func(r *rand.Rand) plan.Node {
 				start := r.Int63n(50 - width + 1)
+				if joinTpl {
+					return ssb.ParametricWindowJoin(env.SSB, width, start).Plan(useGQP)
+				}
 				return ssb.ParametricWindow(env.SSB, width, start).Plan(useGQP)
 			}
 			m, err := throughput(ctx, e, env.CJoinBusy, cfg.Clients, cfg.Duration, false, src, cfg.Seed)
