@@ -168,6 +168,13 @@ type (
 	ScenarioIIRepeatConfig = workload.ScenarioIIRepeatConfig
 	// ScenarioIIRepeatResult holds the repeat-axis series.
 	ScenarioIIRepeatResult = workload.ScenarioIIRepeatResult
+	// ScenarioFConfig parameterizes the Scenario F fault axis (goodput vs
+	// poisoned-page rate under blast-radius containment).
+	ScenarioFConfig = workload.ScenarioFConfig
+	// ScenarioFResult holds the fault-axis points.
+	ScenarioFResult = workload.ScenarioFResult
+	// ScenarioFPoint is one fault-rate measurement.
+	ScenarioFPoint = workload.ScenarioFPoint
 )
 
 // Scenario entry points.
@@ -186,6 +193,10 @@ var (
 	// RunScenarioIIRepeat runs the Scenario II repeat-template axis:
 	// subsumption folding + materialized result cache vs both disabled.
 	RunScenarioIIRepeat = workload.RunScenarioIIRepeat
+	// RunScenarioF runs the fault axis: a rising fraction of fact pages is
+	// permanently poisoned and goodput must degrade proportionally (only
+	// queries whose date windows cover a quarantined page fail).
+	RunScenarioF = workload.RunScenarioF
 )
 
 // Residency values.

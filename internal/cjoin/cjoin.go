@@ -145,6 +145,7 @@ type Stats struct {
 	Admitted       int64 // queries admitted into the GQP
 	Completed      int64 // queries that finished a full sweep
 	Canceled       int64 // queries canceled mid-sweep
+	Failed         int64 // queries retired with a typed error (page loss, deadline, panic)
 	Grafted        int64 // admissions folded onto a running query's bitmap slot
 	SlotHighWater  int64 // highest bitmap slot count ever allocated
 	PagesScanned   int64 // fact pages read by the circular scan
@@ -156,6 +157,14 @@ type Stats struct {
 	ProbeMisses    int64 // probes with no matching dimension tuple
 	DroppedInChain int64 // tuples dropped inside the join chain
 	TuplesRouted   int64 // (tuple, query) deliveries by the distributor
+	// Fault-isolation counters: quarantined fact pages fail only the
+	// queries whose zone checks cover them, deadlines retire queries
+	// through the epoch protocol, and panicking compiled predicates are
+	// converted into per-query failures at the goroutine boundary.
+	PagesQuarantined int64 // quarantined-page encounters by the circular sweep
+	PageFailures     int64 // (page, query) failures charged to quarantined pages
+	DeadlineExpired  int64 // queries retired mid-sweep at their deadline
+	PanicFailures    int64 // recovered predicate/kernel panics
 	// Busy is the accumulated processing time across all pipeline
 	// goroutines (scanner, probe workers, distributor) — the GQP's share
 	// of the CPU-utilisation proxy.
@@ -351,10 +360,23 @@ type subscription struct {
 	closed     bool
 	regd       bool
 
+	// deadline is the query's context deadline (zero = none); the scanner
+	// retires past-deadline queries between pages through the epoch
+	// protocol, so a stuck or slow consumer never holds its bitmap slot
+	// beyond its budget.
+	deadline time.Time
+
 	out      chan *batch.Batch
 	cancelCh chan struct{}
 	canceled atomic.Bool
 	err      error // set before out is closed
+
+	// Asynchronous failure (a panicking compiled predicate, observed on a
+	// worker or the distributor). failCause is written inside failOnce
+	// before the canceled flag is raised; the scanner's acquire load of
+	// canceled makes it visible, and it is promoted to err at retirement.
+	failOnce  sync.Once
+	failCause error
 
 	// Distributor-side accumulation: routed tuples are appended column-wise
 	// into a pooled ColBatch and delivered as a columnar view batch, so the
@@ -363,6 +385,26 @@ type subscription struct {
 	// (sort, push-model satellite copies) asks.
 	pendCols *vec.ColBatch
 	pendN    int
+}
+
+// fail marks the subscription failed with cause, exactly once. Safe from any
+// pipeline goroutine: the cause write happens-before the canceled flag it is
+// observed through, and the scanner retires the query on its next tick.
+func (s *subscription) fail(cause error) {
+	s.failOnce.Do(func() {
+		s.failCause = cause
+		s.canceled.Store(true)
+	})
+}
+
+// PanicError is the typed failure a query receives when its compiled
+// predicate (or a kernel acting on its behalf) panicked. The panic is
+// recovered at the goroutine boundary, so the process and every other query
+// sharing the pipeline survive.
+type PanicError struct{ Recovered any }
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cjoin: recovered panic: %v", e.Recovered)
 }
 
 // Operator is a running CJOIN pipeline over one fact table and a fixed
@@ -389,15 +431,23 @@ type Operator struct {
 	stragglerMu sync.Mutex
 	stragglers  []*subscription
 
+	// abortCause records the first pipeline-goroutine panic; the shutdown
+	// path delivers it (instead of ErrClosed) to every query still active.
+	abortMu    sync.Mutex
+	abortCause error
+
 	itemPool sync.Pool
 
 	stats struct {
 		admitted, completed, canceled        atomic.Int64
+		failed                               atomic.Int64
 		grafted, slotHighWater               atomic.Int64
 		pagesScanned, pagesPruned, zoneSkips atomic.Int64
 		factTuplesIn, droppedAtScan          atomic.Int64
 		probes, probeMisses, droppedInChain  atomic.Int64
 		tuplesRouted                         atomic.Int64
+		pagesQuarantined, pageFailures       atomic.Int64
+		deadlineExpired, panicFailures       atomic.Int64
 		busyNanos                            atomic.Int64
 	}
 }
@@ -479,6 +529,7 @@ func (op *Operator) Stats() Stats {
 		Admitted:       op.stats.admitted.Load(),
 		Completed:      op.stats.completed.Load(),
 		Canceled:       op.stats.canceled.Load(),
+		Failed:         op.stats.failed.Load(),
 		Grafted:        op.stats.grafted.Load(),
 		SlotHighWater:  op.stats.slotHighWater.Load(),
 		PagesScanned:   op.stats.pagesScanned.Load(),
@@ -490,8 +541,38 @@ func (op *Operator) Stats() Stats {
 		ProbeMisses:    op.stats.probeMisses.Load(),
 		DroppedInChain: op.stats.droppedInChain.Load(),
 		TuplesRouted:   op.stats.tuplesRouted.Load(),
-		Busy:           time.Duration(op.stats.busyNanos.Load()),
+
+		PagesQuarantined: op.stats.pagesQuarantined.Load(),
+		PageFailures:     op.stats.pageFailures.Load(),
+		DeadlineExpired:  op.stats.deadlineExpired.Load(),
+		PanicFailures:    op.stats.panicFailures.Load(),
+
+		Busy: time.Duration(op.stats.busyNanos.Load()),
 	}
+}
+
+// abort records a pipeline-goroutine panic and initiates shutdown without
+// waiting for the other goroutines (they observe closeCh). The process and
+// every other operator survive; this operator's queries fail with the cause.
+func (op *Operator) abort(r any) {
+	op.stats.panicFailures.Add(1)
+	op.abortMu.Lock()
+	if op.abortCause == nil {
+		op.abortCause = &PanicError{Recovered: r}
+	}
+	op.abortMu.Unlock()
+	op.closeOnce.Do(func() { close(op.closeCh) })
+}
+
+// shutdownCause is the error delivered to queries still active at shutdown:
+// the recorded abort cause, or ErrClosed for an orderly Close.
+func (op *Operator) shutdownCause() error {
+	op.abortMu.Lock()
+	defer op.abortMu.Unlock()
+	if op.abortCause != nil {
+		return op.abortCause
+	}
+	return ErrClosed
 }
 
 // Workers returns the number of parallel probe pipelines (the resolved
@@ -508,6 +589,11 @@ func (op *Operator) Run(ctx context.Context, q *plan.StarQuery, emit func(*batch
 	sub, err := op.newSubscription(q)
 	if err != nil {
 		return err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		// Honored server-side: the scanner retires the query between pages
+		// once the deadline passes, whether or not the consumer is reading.
+		sub.deadline = dl
 	}
 	select {
 	case op.admitCh <- sub:
@@ -664,6 +750,13 @@ func (op *Operator) scan(fanIn chan<- *item) {
 		op.stragglers = append(op.stragglers, active...)
 		op.stragglerMu.Unlock()
 	}()
+	// Last defer runs first: a scanner panic aborts the operator (queries
+	// fail with the cause) but never takes the process down.
+	defer func() {
+		if r := recover(); r != nil {
+			op.abort(r)
+		}
+	}()
 
 	npages := op.fact.File.NumPages()
 	pos := 0
@@ -806,7 +899,7 @@ func (op *Operator) scan(fanIn chan<- *item) {
 						if sub.canceled.Load() {
 							continue
 						}
-						if sub.prune == nil || sub.prune(zones) {
+						if sub.prune == nil || op.safePrune(sub, zones) {
 							pruned = false
 							break
 						}
@@ -824,8 +917,39 @@ func (op *Operator) scan(fanIn chan<- *item) {
 				cb, err := op.fact.File.PageCols(fetchPos)
 				op.addBusy(time.Since(t0))
 				if err != nil {
-					// A failed page read aborts every active query; errors are
-					// delivered through finish markers on a control tick.
+					var pe *storage.PageError
+					if errors.As(err, &pe) {
+						// Quarantined page: blast-radius containment. Only the
+						// queries whose zone checks cannot exclude the page are
+						// failed (they would have consumed its tuples); every
+						// query the page prunes away sweeps on unharmed, and the
+						// page costs its survivors one tick, exactly like a
+						// pruned page.
+						zones := op.fact.File.PageZones(fetchPos)
+						fpost := make([]ctlMsg, 0, len(active))
+						remaining := active[:0]
+						for _, sub := range active {
+							covered := sub.prune == nil || zones == nil ||
+								op.safePrune(sub, zones)
+							if covered && !sub.canceled.Load() {
+								sub.err = err
+								op.stats.pageFailures.Add(1)
+								fpost = finishSub(sub, fpost)
+							} else {
+								remaining = append(remaining, sub)
+							}
+						}
+						active = remaining
+						op.stats.pagesQuarantined.Add(1)
+						if len(fpost) > 0 && !broadcast(nil, fpost) {
+							return
+						}
+						pos = (pos + 1) % npages
+						goto retireTick
+					}
+					// Unclassified read failure: abort every active query;
+					// errors are delivered through finish markers on a
+					// control tick.
 					post := make([]ctlMsg, 0, len(active))
 					for _, sub := range active {
 						sub.err = err
@@ -873,16 +997,37 @@ func (op *Operator) scan(fanIn chan<- *item) {
 		}
 
 	retireTick:
-		// Retire queries whose sweep ended with this page (or that
-		// canceled). The finish tick follows the sweep's last page, so
-		// every worker and the distributor see that page first.
+		// Retire queries whose sweep ended with this page, that canceled
+		// (or failed asynchronously), or whose deadline has passed. The
+		// finish tick follows the sweep's last page, so every worker and
+		// the distributor see that page first. time.Now is consulted only
+		// while a deadline-bearing query is active — deadline-free sweeps
+		// pay nothing.
 		var post []ctlMsg
+		var now time.Time
 		remaining := active[:0]
 		for _, sub := range active {
 			if npages > 0 {
 				sub.pagesLeft--
 			}
-			if sub.pagesLeft <= 0 || sub.canceled.Load() {
+			canceled := sub.canceled.Load()
+			if canceled && sub.err == nil {
+				// fail() wrote the cause before raising the flag; a plain
+				// consumer cancellation leaves it nil.
+				sub.err = sub.failCause
+			}
+			expired := false
+			if !canceled && sub.pagesLeft > 0 && !sub.deadline.IsZero() {
+				if now.IsZero() {
+					now = time.Now()
+				}
+				if !now.Before(sub.deadline) {
+					expired = true
+					sub.err = context.DeadlineExceeded
+					op.stats.deadlineExpired.Add(1)
+				}
+			}
+			if sub.pagesLeft <= 0 || canceled || expired {
 				post = finishSub(sub, post)
 			} else {
 				remaining = append(remaining, sub)
@@ -895,6 +1040,35 @@ func (op *Operator) scan(fanIn chan<- *item) {
 			}
 		}
 	}
+}
+
+// safePrune evaluates sub's compiled zone check, converting a panic into a
+// typed failure of sub alone. It reports false on panic — the caller treats
+// the page as unmatchable for sub, which is harmless: the query is already
+// failed and retires on the scanner's next tick.
+func (op *Operator) safePrune(sub *subscription, zones []storage.ZoneMap) (match bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			op.stats.panicFailures.Add(1)
+			sub.fail(&PanicError{Recovered: r})
+			match = false
+		}
+	}()
+	return sub.prune(zones)
+}
+
+// safeFactSel runs sub's vectorized fact predicate over the page batch,
+// converting a panic into a typed failure of sub alone; the page then
+// contributes no rows to it, and every other query on the page is untouched.
+func (w *worker) safeFactSel(sub *subscription, cb *vec.ColBatch, all, sel []int32) (out []int32) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.op.stats.panicFailures.Add(1)
+			sub.fail(&PanicError{Recovered: r})
+			out = nil
+		}
+	}()
+	return sub.factVec(cb, all, sel, &w.scratch)
 }
 
 // annotate fills it with the page's tuples that satisfy at least one active
@@ -940,7 +1114,7 @@ func (w *worker) annotate(it *item, active []*subscription, nslots int) {
 				zones = w.op.fact.File.PageZones(it.page)
 				zonesLoaded = true
 			}
-			if zones != nil && !sub.prune(zones) {
+			if zones != nil && !w.op.safePrune(sub, zones) {
 				zskips++
 				continue
 			}
@@ -953,12 +1127,12 @@ func (w *worker) annotate(it *item, active []*subscription, nslots int) {
 			continue
 		}
 		if stride == 1 {
-			for _, r := range sub.factVec(cb, all, sel, &w.scratch) {
+			for _, r := range w.safeFactSel(sub, cb, all, sel) {
 				words[r] |= bit
 			}
 			continue
 		}
-		for _, r := range sub.factVec(cb, all, sel, &w.scratch) {
+		for _, r := range w.safeFactSel(sub, cb, all, sel) {
 			words[int(r)*stride+int(wi)] |= bit
 		}
 	}
@@ -1338,7 +1512,7 @@ func (ds *dimState) admitQuery(sub *subscription) {
 		if cap(ds.admitSel) < len(all) {
 			ds.admitSel = make([]int32, len(all))
 		}
-		for _, i := range vp(ds.tab.cb, all, ds.admitSel[:len(all)], &ds.scratch) {
+		for _, i := range ds.safeDimSel(sub, vp, all) {
 			ds.ebits[int(i)*es+w] |= bit
 		}
 		return
@@ -1346,6 +1520,21 @@ func (ds *dimState) admitQuery(sub *subscription) {
 	for i := range ds.tab.rows {
 		ds.ebits[i*es+w] |= bit
 	}
+}
+
+// safeDimSel runs sub's vectorized dimension predicate over the table's
+// cached column batch, converting a panic into a typed failure of sub alone
+// (its bits simply stay clear on this replica — it retires before
+// delivering anything).
+func (ds *dimState) safeDimSel(sub *subscription, vp expr.VecPred, all []int32) (out []int32) {
+	defer func() {
+		if r := recover(); r != nil {
+			ds.op.stats.panicFailures.Add(1)
+			sub.fail(&PanicError{Recovered: r})
+			out = nil
+		}
+	}()
+	return vp(ds.tab.cb, all, ds.admitSel[:len(all)], &ds.scratch)
 }
 
 // finishQuery removes the query's bits from this replica.
@@ -1478,6 +1667,10 @@ type worker struct {
 	// queued) and drop annotation of a canceled host's final held pages.
 	held map[*subscription]int
 
+	// cur is the data item being processed, tracked so the panic-recovery
+	// path can release its page-batch reference instead of leaking it.
+	cur *item
+
 	scratch vec.Scratch // vectorized-predicate temporaries, worker-owned
 	selBuf  []int32     // per-query selection buffer, sized to the page
 }
@@ -1541,6 +1734,24 @@ func (w *worker) drop(sub *subscription) {
 func (w *worker) run() {
 	defer w.op.wg.Done()
 	defer w.op.prodWG.Done()
+	// A worker panic (outside the per-predicate containment in annotate)
+	// aborts the operator; the recovery path releases the in-flight item
+	// and drains the queue so no page-batch reference leaks. The drain
+	// terminates because the scanner observes closeCh and closes w.in.
+	defer func() {
+		if r := recover(); r != nil {
+			w.op.abort(r)
+			if w.cur != nil {
+				w.op.putItem(w.cur)
+				w.cur = nil
+			}
+			for msg := range w.in {
+				if msg.it != nil {
+					w.op.putItem(msg.it)
+				}
+			}
+		}
+	}()
 	for msg := range w.in {
 		t0 := time.Now()
 		if msg.ep != nil {
@@ -1561,6 +1772,7 @@ func (w *worker) run() {
 			continue
 		}
 		it := msg.it
+		w.cur = it
 		w.annotate(it, w.active, w.nslots)
 		for i := range w.dims {
 			w.dims[i].processTuples(it)
@@ -1568,7 +1780,12 @@ func (w *worker) run() {
 		w.op.addBusy(time.Since(t0))
 		select {
 		case w.out <- it:
+			w.cur = nil
 		case <-w.op.closeCh:
+			// Undeliverable: release the item's page reference rather than
+			// stranding it (the distributor will never see this seq).
+			w.cur = nil
+			w.op.putItem(it)
 			return
 		}
 	}
@@ -1588,6 +1805,10 @@ type distributor struct {
 
 	next int64   // next tick to process
 	ring []*item // reorder buffer; slot = seq & (len-1)
+
+	// cur is the item being processed, tracked so the panic-recovery path
+	// can release its page-batch reference instead of leaking it.
+	cur *item
 }
 
 // enqueue accepts one item from the fan-in, processing it immediately when
@@ -1706,9 +1927,22 @@ func (d *distributor) register(sub *subscription) {
 // slot.
 func (d *distributor) finish(sub *subscription) {
 	d.deliver(sub)
-	if sub.canceled.Load() {
+	if sub.err == nil && sub.canceled.Load() && sub.failCause != nil {
+		// Backstop for asynchronous failures (a predicate panic on a worker
+		// replica, typically at admission): the scanner may complete a short
+		// sweep before it ever observes the canceled flag, finishing the
+		// query with a nil error. The finish marker is sequence-ordered
+		// behind every page a worker forwarded for this query, so the
+		// worker's fail() — cause write, then flag — is visible here.
+		sub.err = sub.failCause
+	}
+	if sub.err != nil {
+		// Typed failure (quarantined page, deadline, recovered panic, …)
+		// — distinct from a consumer-initiated cancellation.
+		d.op.stats.failed.Add(1)
+	} else if sub.canceled.Load() {
 		d.op.stats.canceled.Add(1)
-	} else if sub.err == nil {
+	} else {
 		d.op.stats.completed.Add(1)
 	}
 	close(sub.out)
@@ -1750,7 +1984,7 @@ func (d *distributor) routeAll(sub *subscription, it *item, ti int) {
 		if g.closed || g.canceled.Load() {
 			continue
 		}
-		if g.residual != nil && !residualMatch(g, it, ti) {
+		if g.residual != nil && !d.residualMatch(g, it, ti) {
 			continue
 		}
 		d.route(g, it, ti)
@@ -1758,8 +1992,17 @@ func (d *distributor) routeAll(sub *subscription, it *item, ti int) {
 }
 
 // residualMatch evaluates a graft's residual fact predicate over the
-// tuple, filling only the referenced columns of the scratch row.
-func residualMatch(g *subscription, it *item, ti int) bool {
+// tuple, filling only the referenced columns of the scratch row. A
+// panicking residual fails the graft alone (reported false: the graft
+// receives no further tuples and retires on the scanner's next tick).
+func (d *distributor) residualMatch(g *subscription, it *item, ti int) (match bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.op.stats.panicFailures.Add(1)
+			g.fail(&PanicError{Recovered: r})
+			match = false
+		}
+	}()
 	r := int(it.rowIdx[ti])
 	for _, c := range g.residCols {
 		g.residRow[c] = it.cols.Col(c).Datum(r)
@@ -1770,6 +2013,7 @@ func residualMatch(g *subscription, it *item, ti int) bool {
 // process handles one tick: admissions, tuple routing, retirements.
 func (d *distributor) process(it *item) {
 	t0 := time.Now()
+	d.cur = it
 	for _, c := range it.pre {
 		if c.kind == ctlAdmit {
 			d.register(c.sub)
@@ -1803,15 +2047,27 @@ func (d *distributor) process(it *item) {
 		d.routed = 0
 	}
 	d.op.addBusy(time.Since(t0))
+	d.cur = nil
 	d.op.putItem(it)
 }
 
 // run merges and processes ticks until every producer has exited and the
-// fan-in closes, then fails whatever is still active with ErrClosed.
+// fan-in closes, then fails whatever is still active with the shutdown
+// cause (ErrClosed for an orderly Close, the recovered panic otherwise).
 func (d *distributor) run() {
 	defer d.op.wg.Done()
+	d.merge()
+	// If merge exited via panic the fan-in may still be open: drain it,
+	// registering parked admissions (their queries must be failed below)
+	// and recycling items so no page-batch reference leaks. The drain
+	// terminates because abort closed closeCh, which stops the producers.
 	for it := range d.in {
-		d.enqueue(it)
+		for _, c := range it.pre {
+			if c.kind == ctlAdmit {
+				d.register(c.sub)
+			}
+		}
+		d.op.putItem(it)
 	}
 	// Pipeline shut down. The fan-in closed after the scanner and every
 	// worker exited, so no more ticks can arrive; ticks dropped on the way
@@ -1823,7 +2079,7 @@ func (d *distributor) run() {
 	// reaches its host via hostSub, and every unfinished host lands in
 	// d.subs through the recovery passes, so walking d.subs and each
 	// entry's graft list covers every open output channel.
-	for _, it := range d.ring {
+	for i, it := range d.ring {
 		if it == nil {
 			continue
 		}
@@ -1832,12 +2088,17 @@ func (d *distributor) run() {
 				d.register(c.sub)
 			}
 		}
+		// Recycle the parked item so its page-batch reference is not
+		// stranded by the shutdown.
+		d.ring[i] = nil
+		d.op.putItem(it)
 	}
 	d.op.stragglerMu.Lock()
 	for _, sub := range d.op.stragglers {
 		d.register(sub)
 	}
 	d.op.stragglerMu.Unlock()
+	cause := d.op.shutdownCause()
 	for _, sub := range d.subs {
 		if sub == nil {
 			continue
@@ -1846,7 +2107,7 @@ func (d *distributor) run() {
 			if g.closed {
 				continue
 			}
-			g.err = ErrClosed
+			g.err = cause
 			d.deliver(g)
 			close(g.out)
 			g.closed = true
@@ -1854,9 +2115,41 @@ func (d *distributor) run() {
 		if sub.closed {
 			continue
 		}
-		sub.err = ErrClosed
+		sub.err = cause
 		d.deliver(sub)
 		close(sub.out)
 		sub.closed = true
+	}
+}
+
+// merge runs the sequence merge until the fan-in closes. A distributor
+// panic (a kernel acting on corrupted routing state) aborts the operator
+// rather than the process; the in-flight item's reference is released and
+// run's drain handles the rest.
+func (d *distributor) merge() {
+	defer func() {
+		if r := recover(); r != nil {
+			d.op.abort(r)
+			if d.cur != nil {
+				d.op.putItem(d.cur)
+				d.cur = nil
+			}
+			for _, it := range d.ring {
+				if it != nil {
+					// Parked items: register their admissions so the
+					// shutdown pass fails those queries, then recycle.
+					for _, c := range it.pre {
+						if c.kind == ctlAdmit {
+							d.register(c.sub)
+						}
+					}
+					d.op.putItem(it)
+				}
+			}
+			d.ring = nil
+		}
+	}()
+	for it := range d.in {
+		d.enqueue(it)
 	}
 }

@@ -18,8 +18,14 @@ import (
 // and a deliberately tiny buffer pool so the circular scan keeps hitting the
 // disk.
 func faultStar(t *testing.T, n int) (*storage.Catalog, *storage.FaultDisk) {
+	return faultStarProf(t, n, storage.DiskProfile{})
+}
+
+// faultStarProf is faultStar with the simulated disk profile exposed (slow
+// profiles make mid-sweep deadlines deterministic).
+func faultStarProf(t *testing.T, n int, prof storage.DiskProfile) (*storage.Catalog, *storage.FaultDisk) {
 	t.Helper()
-	fd := storage.NewFaultDisk(storage.NewMemDisk(storage.DiskProfile{}))
+	fd := storage.NewFaultDisk(storage.NewMemDisk(prof))
 	cat := storage.NewCatalog(fd, 4, true)
 
 	lo, err := cat.CreateTable("lo", types.NewSchema(
@@ -97,13 +103,26 @@ func TestFaultMidSweepFailsActiveQueriesAndRecovers(t *testing.T) {
 		t.Fatal("faulted query did not fail")
 	}
 
-	// After healing, the pipeline must serve new queries again.
+	// After healing the disk AND lifting the pool's quarantine, the
+	// pipeline must serve new queries again (quarantine is sticky by
+	// design: a page that exhausted its retries stays failed until an
+	// operator clears it).
 	fd.Heal()
+	cat.Pool().ClearQuarantine()
 	if rows := runStar(t, op, q); len(rows) != 20000 {
 		t.Fatalf("post-heal sweep rows = %d", len(rows))
 	}
 	st := op.Stats()
 	if st.Completed != 2 {
 		t.Errorf("Completed = %d, want 2 (the faulted query must not count)", st.Completed)
+	}
+	if st.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", st.Failed)
+	}
+	if st.PagesQuarantined == 0 {
+		t.Error("PagesQuarantined = 0, want > 0")
+	}
+	if cat.Pool().DecodeStats().Retries == 0 {
+		t.Error("pool Retries = 0, want > 0 (transient classification must retry)")
 	}
 }

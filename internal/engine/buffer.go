@@ -55,22 +55,36 @@ func newFIFO(capacity int) *fifo {
 	return &fifo{ch: make(chan *batch.Batch, capacity), done: make(chan struct{})}
 }
 
-// Put enqueues a batch, failing if the consumer detached or ctx ended.
+// Put enqueues a batch, failing if the consumer detached or ctx ended. Per
+// the Writer contract it consumes the reference either way: on failure the
+// batch is released here, so faulted producers cannot leak it.
 func (f *fifo) Put(ctx context.Context, b *batch.Batch) error {
 	select {
 	case f.ch <- b:
 		return nil
 	case <-f.done:
+		b.Done()
 		return ErrCanceled
 	case <-ctx.Done():
+		b.Done()
 		return ctx.Err()
 	}
 }
 
-// closeProducer ends the stream from the producer side.
+// closeProducer ends the stream from the producer side. If the consumer has
+// already detached, nobody will ever read the queued batches, so their
+// references are released here (the channel is closed first, so the drain
+// terminates).
 func (f *fifo) closeProducer(err error) {
 	f.err = err
 	close(f.ch)
+	select {
+	case <-f.done:
+		for b := range f.ch {
+			b.Done()
+		}
+	default:
+	}
 }
 
 // Next dequeues the next batch.
@@ -89,9 +103,25 @@ func (f *fifo) Next(ctx context.Context) (*batch.Batch, error) {
 	}
 }
 
-// Close detaches the consumer.
+// Close detaches the consumer, releasing whatever is queued: those batches
+// will never be read. A Put racing the detach can still enqueue once more
+// (the buffered send and the done case are both ready); closeProducer
+// sweeps such stragglers when the producer aborts.
 func (f *fifo) Close() {
-	f.cancelOnce.Do(func() { close(f.done) })
+	f.cancelOnce.Do(func() {
+		close(f.done)
+		for {
+			select {
+			case b, ok := <-f.ch:
+				if !ok {
+					return
+				}
+				b.Done()
+			default:
+				return
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -147,14 +177,17 @@ func (m *multiFIFO) Put(ctx context.Context, b *batch.Batch) error {
 	defer b.Done()
 
 	alive := 0
-	delivered := false // the original's reference was handed to a consumer
+	handed := false // the original's reference was handed to a fifo.Put
 	var failure error
 	for i, f := range outs {
 		out := b
 		if i > 0 {
 			out = b.Clone()
 			m.copies.Add(1)
+		} else {
+			handed = true
 		}
+		// fifo.Put consumes out's reference whether it succeeds or fails.
 		if err := f.Put(ctx, out); err != nil {
 			if err == ErrCanceled {
 				continue // this consumer detached; keep serving the others
@@ -162,13 +195,10 @@ func (m *multiFIFO) Put(ctx context.Context, b *batch.Batch) error {
 			failure = err
 			break
 		}
-		if i == 0 {
-			delivered = true
-		}
 		alive++
 	}
-	if !delivered {
-		b.Done() // the producer's reference was never transferred
+	if !handed {
+		b.Done() // no consumers: the producer's reference was never transferred
 	}
 	if failure != nil {
 		return failure
@@ -225,14 +255,32 @@ func (w splWriter) Close(err error) { w.list.Close(err) }
 
 type splReader struct {
 	r *spl.Reader
+
+	// Reader-side cancellation: the first Next arms a context.AfterFunc
+	// that cancels THIS reader only (spl.Reader.Cancel), so an abandoned
+	// or past-deadline consumer unblocks immediately without touching the
+	// producer or the other consumers of the shared list. Arming once
+	// keeps the steady-state Next allocation-free.
+	armed bool
+	stop  func() bool
 }
 
 // Next pulls the consumer's next shared page.
-func (r splReader) Next(ctx context.Context) (*batch.Batch, error) {
-	// spl.Reader blocks on a condition variable; context cancellation is
-	// delivered by the packet's AfterFunc closing the list with ctx.Err().
+func (r *splReader) Next(ctx context.Context) (*batch.Batch, error) {
+	if !r.armed {
+		r.armed = true
+		if ctx.Done() != nil {
+			r.stop = context.AfterFunc(ctx, func() { r.r.Cancel(ctx.Err()) })
+		}
+	}
 	return r.r.Next()
 }
 
 // Close detaches the consumer.
-func (r splReader) Close() { r.r.Close() }
+func (r *splReader) Close() {
+	if r.stop != nil {
+		r.stop()
+		r.stop = nil
+	}
+	r.r.Close()
+}

@@ -8,6 +8,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -147,7 +148,10 @@ func (e *Engine) Execute(ctx context.Context, root plan.Node) (*Result, error) {
 		return nil, err
 	}
 	res, err := drain(ctx, root, r)
-	if err == nil && e.cache != nil {
+	// Only complete, uncanceled results may populate the cache: a drain
+	// racing its context's cancellation can return nil error with a
+	// truncated row set, which must never be served to repeat templates.
+	if err == nil && ctx.Err() == nil && e.cache != nil {
 		e.cache.put(fp, res, snap.files, snap.vers)
 	}
 	return res, err
@@ -204,7 +208,8 @@ func (e *Engine) ExecuteBatch(ctx context.Context, roots []plan.Node) ([]*Result
 		go func(i int) {
 			defer wg.Done()
 			results[i], errs[i] = drain(ctx, roots[i], readers[i])
-			if errs[i] == nil && e.cache != nil {
+			// Failed or canceled queries never populate the cache.
+			if errs[i] == nil && ctx.Err() == nil && e.cache != nil {
 				e.cache.put(fps[i], results[i], snaps[i].files, snaps[i].vers)
 			}
 		}(i)
@@ -311,8 +316,31 @@ func (e *Engine) run(ctx context.Context, p *Packet, inputs []Reader, gate <-cha
 	}
 
 	st.executed.Add(1)
-	err := e.runOperator(ctx, p, inputs, p.writer())
+	err := e.safeRunOperator(ctx, p, inputs, p.writer())
 	cleanup(err)
+}
+
+// PanicError is the typed failure a query receives when one of its operator
+// packets panicked (a compiled predicate or kernel hitting malformed input).
+// The panic is recovered at the packet-goroutine boundary, so the process
+// and every unrelated query survive; consumers of the packet observe this
+// error as the stream's close cause.
+type PanicError struct{ Recovered any }
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: operator panic: %v", e.Recovered)
+}
+
+// safeRunOperator runs the packet's operator, converting a panic into a
+// typed error delivered through the packet's normal close path.
+func (e *Engine) safeRunOperator(ctx context.Context, p *Packet, inputs []Reader, w Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.stage.panics.Add(1)
+			err = &PanicError{Recovered: r}
+		}
+	}()
+	return e.runOperator(ctx, p, inputs, w)
 }
 
 // EngineStats snapshots every stage's counters plus engine-wide gauges.
@@ -322,6 +350,12 @@ type EngineStats struct {
 	// (wall time x GOMAXPROCS) is the CPU-utilisation proxy reported by the
 	// Scenario I harness.
 	Busy time.Duration
+
+	// OperatorPanics counts operator panics recovered at the packet
+	// boundary across all stages — each one failed exactly one query's
+	// packet (and its attached satellites) with a PanicError instead of
+	// taking the process down.
+	OperatorPanics int64
 
 	// Result-cache counters; all zero when Config.ResultCache is off.
 	CacheHits          int64
@@ -337,6 +371,7 @@ func (e *Engine) Stats() EngineStats {
 		s := st.Stats()
 		out.Stages = append(out.Stages, s)
 		out.Busy += s.Busy
+		out.OperatorPanics += s.Panics
 	}
 	if e.cache != nil {
 		out.CacheHits, out.CacheMisses, out.CacheEvictions, out.CacheInvalidations = e.cache.stats()

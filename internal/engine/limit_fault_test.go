@@ -195,8 +195,10 @@ func TestInjectedReadFaultPropagatesAndHeals(t *testing.T) {
 		t.Fatal("fault never fired")
 	}
 
-	// Heal: subsequent queries succeed again.
+	// Heal the disk and lift the pool's sticky quarantine: subsequent
+	// queries succeed again.
 	fd.Heal()
+	cat.Pool().ClearQuarantine()
 	res, err = e.Execute(ctx, plan.NewScan(tbl))
 	if err != nil {
 		t.Fatalf("after heal: %v", err)

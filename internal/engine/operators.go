@@ -337,6 +337,14 @@ func (e *Engine) opHashJoin(ctx context.Context, n *plan.HashJoin, left, right R
 	// distributor's pending columns.
 	var pend *vec.ColBatch
 	pendN := 0
+	// A faulted probe-side read (or a detached consumer) returns mid-loop;
+	// the accumulated-but-unflushed output batch must go back to the pool.
+	defer func() {
+		if pend != nil {
+			pend.Seal(pendN)
+			pend.Release()
+		}
+	}()
 	flush := func() error {
 		if pend == nil || pendN == 0 {
 			return nil

@@ -74,7 +74,7 @@ func newPacket(node plan.Node, stage *Stage, sig string, model SPModel, fifoCap,
 			panic("engine: fresh SPL rejected its first reader")
 		}
 		p.consumers = 1
-		return p, splReader{r: r}
+		return p, &splReader{r: r}
 	}
 	p.multi = newMultiFIFO(fifoCap, &stage.copies)
 	p.consumers = 1
@@ -95,7 +95,7 @@ func (p *Packet) addConsumer() (Reader, bool) {
 			return nil, false
 		}
 		p.consumers++
-		return splReader{r: r}, true
+		return &splReader{r: r}, true
 	}
 	if p.emitted {
 		return nil, false

@@ -103,6 +103,11 @@ func (c *resultCache) get(fp expr.Fp) (*Result, bool) {
 // taken BEFORE execution started — if a table changed mid-run the entry is
 // already stale and the next get discards it, never serving a torn read.
 func (c *resultCache) put(fp expr.Fp, res *Result, files []*storage.HeapFile, vers []uint64) {
+	if res == nil {
+		// A failed or canceled query has no materialization to share;
+		// caching nil would serve phantom empty results to repeats.
+		return
+	}
 	c.mu.Lock()
 	if e := c.m[fp]; e != nil {
 		e.res, e.files, e.vers = res, files, vers

@@ -27,6 +27,7 @@ type Stage struct {
 	copies     atomic.Int64 // push-model deep batch copies for satellites
 	busyNanos  atomic.Int64 // time spent processing (not blocked)
 	active     atomic.Int64 // currently running packets
+	panics     atomic.Int64 // operator panics recovered at the packet boundary
 }
 
 func newStage(kind plan.Kind, sp bool) *Stage {
@@ -89,6 +90,7 @@ type StageStats struct {
 	SPAttached int64
 	SPMissed   int64
 	Copies     int64
+	Panics     int64
 	Busy       time.Duration
 }
 
@@ -100,6 +102,7 @@ func (s *Stage) Stats() StageStats {
 		SPAttached: s.spAttached.Load(),
 		SPMissed:   s.spMissed.Load(),
 		Copies:     s.copies.Load(),
+		Panics:     s.panics.Load(),
 		Busy:       time.Duration(s.busyNanos.Load()),
 	}
 }

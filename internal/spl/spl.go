@@ -72,9 +72,10 @@ func New(maxPages int) *List {
 
 // Reader is one consumer's cursor into the list.
 type Reader struct {
-	list   *List
-	next   int // logical index of the next page to read
-	closed bool
+	list      *List
+	next      int // logical index of the next page to read
+	closed    bool
+	cancelErr error // set by Cancel; delivered by the next (or blocked) Next
 }
 
 // NewReader attaches a consumer that will observe the stream from the first
@@ -181,7 +182,8 @@ func (l *List) reclaimLocked() {
 }
 
 // Next returns the consumer's next page. It blocks until a page is
-// available, the stream ends (io.EOF), or the producer failed (its error).
+// available, the stream ends (io.EOF), the producer failed (its error), or
+// this reader is canceled (its Cancel error).
 func (r *Reader) Next() (*batch.Batch, error) {
 	l := r.list
 	l.mu.Lock()
@@ -189,6 +191,9 @@ func (r *Reader) Next() (*batch.Batch, error) {
 	for {
 		if r.closed {
 			return nil, errors.New("spl: read after reader close")
+		}
+		if r.cancelErr != nil {
+			return nil, r.cancelErr
 		}
 		if l.err != nil {
 			return nil, l.err
@@ -207,6 +212,25 @@ func (r *Reader) Next() (*batch.Batch, error) {
 		}
 		l.cond.Wait()
 	}
+}
+
+// Cancel unblocks this consumer: a blocked (or any later) Next returns err.
+// Only this reader is affected — the producer and every other consumer keep
+// streaming, which is what makes one abandoned or past-deadline query's
+// cancellation invisible to the queries sharing its packet. A nil err
+// cancels with io.EOF.
+func (r *Reader) Cancel(err error) {
+	if err == nil {
+		err = io.EOF
+	}
+	l := r.list
+	l.mu.Lock()
+	if r.cancelErr == nil && !r.closed {
+		r.cancelErr = err
+	}
+	l.mu.Unlock()
+	// Broadcast wakes every waiter; only this reader observes cancelErr.
+	l.cond.Broadcast()
 }
 
 // Close detaches the consumer. Remaining pages are reclaimed as if the

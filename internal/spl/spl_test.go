@@ -331,3 +331,56 @@ func TestConcurrentStress(t *testing.T) {
 		t.Errorf("Retained = %d after full drain", l.Retained())
 	}
 }
+
+func TestReaderCancelUnblocksOnlyThatReader(t *testing.T) {
+	l := New(4)
+	rc, err := l.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := l.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// rc blocks in Next on the empty stream; Cancel must unblock it with
+	// exactly the cancel cause (the deadline/abandonment path of a shared
+	// consumer).
+	cause := errors.New("query deadline exceeded")
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := rc.Next()
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let Next park on the cond var
+	rc.Cancel(cause)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, cause) {
+			t.Fatalf("canceled Next err = %v, want %v", err, cause)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled reader stayed blocked")
+	}
+	// The cancellation is sticky for this reader alone.
+	if _, err := rc.Next(); !errors.Is(err, cause) {
+		t.Fatalf("post-cancel Next err = %v, want sticky %v", err, cause)
+	}
+	rc.Close()
+
+	// The producer and the other consumer are untouched: a full stream
+	// flows through after the cancellation.
+	go func() {
+		for i := int64(0); i < 10; i++ {
+			if err := l.Append(page(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		l.Close(nil)
+	}()
+	got := readAll(t, ro)
+	if len(got) != 10 {
+		t.Fatalf("surviving reader got %d pages, want 10", len(got))
+	}
+}

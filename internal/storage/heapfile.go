@@ -36,6 +36,7 @@ func NewHeapFile(disk Disk, pool *BufferPool, name string, schema *types.Schema)
 	if err != nil {
 		return nil, err
 	}
+	pool.RegisterFileName(id, name)
 	return &HeapFile{
 		disk:    disk,
 		pool:    pool,

@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageError is the typed, permanent failure of one page: the fetch path
+// exhausted its retries (or classified the cause as non-retryable) and
+// quarantined the page. It is the unit of blast radius — a consumer that can
+// prove it does not need the page (zone-map pruning) is unaffected; only
+// queries whose sweeps must read it fail, and they fail with this error.
+type PageError struct {
+	Table string // owning table, when the file was registered ("" otherwise)
+	File  FileID
+	Page  int
+	Cause error
+}
+
+func (e *PageError) Error() string {
+	if e.Table != "" {
+		return fmt.Sprintf("storage: page %d of table %q quarantined: %v", e.Page, e.Table, e.Cause)
+	}
+	return fmt.Sprintf("storage: page %d of file %d quarantined: %v", e.Page, e.File, e.Cause)
+}
+
+func (e *PageError) Unwrap() error { return e.Cause }
+
+// PermanentError marks its cause as not worth retrying: the fetch path fails
+// it immediately instead of burning retries (media gone, corrupt encoding).
+type PermanentError struct {
+	Err error
+}
+
+func (e *PermanentError) Error() string { return e.Err.Error() }
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// MarkPermanent classifies err as non-retryable.
+func MarkPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+// IsTransient reports whether err is worth retrying. Errors are transient by
+// default (I/O hiccups usually heal); anything wrapped by MarkPermanent — and
+// anything already settled into a PageError — is not.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var perm *PermanentError
+	if errors.As(err, &perm) {
+		return false
+	}
+	var pe *PageError
+	return !errors.As(err, &pe)
+}

@@ -2,9 +2,10 @@ package storage
 
 import (
 	"errors"
-	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/types"
 	"repro/internal/vec"
@@ -13,6 +14,16 @@ import (
 // ErrNoFreeFrames is returned when every frame in the pool is pinned and a
 // new page must be brought in.
 var ErrNoFreeFrames = errors.New("storage: buffer pool exhausted (all frames pinned)")
+
+// Fetch retry policy defaults: a transient read error is retried up to
+// DefaultFetchRetries times with jittered exponential backoff starting at
+// DefaultRetryBackoff before it becomes permanent and the page is
+// quarantined. The disarmed path costs nothing — no clock reads, no
+// allocations (BenchmarkFetchRetryDisarmed gates this in CI).
+const (
+	DefaultFetchRetries = 3
+	DefaultRetryBackoff = 250 * time.Microsecond
+)
 
 type pageKey struct {
 	file FileID
@@ -46,6 +57,7 @@ type Frame struct {
 	rows     []types.Row
 	decoded  bool
 	rowsDone bool
+	decErr   error // sticky decode failure (corrupt page) for this residency
 }
 
 // Data returns the page bytes. Valid only while the frame is pinned.
@@ -63,12 +75,17 @@ func (fr *Frame) decodeLocked(ncols int) (writeBack []byte, err error) {
 	if fr.decoded {
 		return nil, nil
 	}
+	if fr.decErr != nil {
+		return nil, fr.decErr
+	}
 	ver, err := pageVersion(fr.data)
 	if err != nil {
+		fr.decErr = err
 		return nil, err
 	}
 	cb, err := DecodePageCols(fr.data, ncols)
 	if err != nil {
+		fr.decErr = err
 		return nil, err
 	}
 	fr.cb = cb
@@ -98,13 +115,19 @@ func (fr *Frame) decodeLocked(ncols int) (writeBack []byte, err error) {
 
 // migrate flushes a re-encoded v2 page back to disk (mixed v1/v2 files
 // converge to all-v2). Best-effort: on failure the on-disk page stays v1
-// and the next residency simply migrates again.
+// and the next residency simply migrates again — but the failure is counted
+// (DecodeStats.MigrateFailed), so silently rotting write paths are
+// observable instead of presenting as a migration that never converges.
 func (fr *Frame) migrate(writeBack []byte) {
 	if writeBack == nil {
 		return
 	}
-	if p := fr.pool; p != nil && p.disk.WritePage(fr.key.file, fr.key.idx, writeBack) == nil {
-		p.migrated.Add(1)
+	if p := fr.pool; p != nil {
+		if p.disk.WritePage(fr.key.file, fr.key.idx, writeBack) == nil {
+			p.migrated.Add(1)
+		} else {
+			p.migrateFailed.Add(1)
+		}
 	}
 }
 
@@ -117,7 +140,9 @@ func (fr *Frame) DecodedCols(ncols int) (*vec.ColBatch, error) {
 	writeBack, err := fr.decodeLocked(ncols)
 	if err != nil {
 		fr.decMu.Unlock()
-		return nil, err
+		// A page that read fine but fails to decode is corrupt on disk:
+		// permanent, quarantined alongside unreadable pages.
+		return nil, fr.pool.quarantine(fr.key, MarkPermanent(err))
 	}
 	fr.cb.Retain()
 	fr.decMu.Unlock()
@@ -134,7 +159,7 @@ func (fr *Frame) DecodedRows(ncols int) ([]types.Row, error) {
 	writeBack, err := fr.decodeLocked(ncols)
 	if err != nil {
 		fr.decMu.Unlock()
-		return nil, err
+		return nil, fr.pool.quarantine(fr.key, MarkPermanent(err))
 	}
 	if !fr.rowsDone {
 		fr.rows = fr.cb.Rows()
@@ -166,6 +191,15 @@ type DecodeStats struct {
 	Fetched   int64 // demand fetches served (pool hits + disk reads)
 	Pruned    int64 // page fetches avoided by zone-map pruning
 	Decoded   int64 // DecodedV1 + DecodedV2
+
+	// Fault-handling counters. Retries counts transient read errors that
+	// were retried (with backoff) before the page loaded or quarantined;
+	// Quarantined counts pages settled into a permanent PageError;
+	// MigrateFailed counts best-effort v1→v2 write-backs that failed (the
+	// on-disk page stays v1 — silent only in effect, never in the stats).
+	Retries       int64
+	Quarantined   int64
+	MigrateFailed int64
 }
 
 // BufferPool caches disk pages in a fixed number of frames with clock
@@ -192,6 +226,24 @@ type BufferPool struct {
 	fetched   atomic.Int64
 	pruned    atomic.Int64
 
+	migrateFailed atomic.Int64
+	retries       atomic.Int64
+	quarCount     atomic.Int64
+
+	// Retry policy for transient read errors (SetRetryPolicy overrides).
+	retryMax  int
+	retryBase time.Duration
+
+	// quar holds permanently failed pages: a fetch of a quarantined page
+	// fails fast with its PageError, without touching the disk. nil until
+	// the first quarantine, so the fault-free path never pays for it beyond
+	// one nil-map length check under the lock it already holds.
+	quar map[pageKey]*PageError
+
+	// names maps file ids to table names for PageError attribution.
+	nmu   sync.RWMutex
+	names map[FileID]string
+
 	// Per-page zone maps, keyed like the frame table but never evicted
 	// (a few dozen bytes per page versus a 32KiB frame). Populated by the
 	// heap-file writer at flush time and backfilled by the first decode of
@@ -214,6 +266,8 @@ func NewBufferPool(disk Disk, npages int) *BufferPool {
 		table:        make(map[pageKey]*Frame, npages),
 		zones:        make(map[pageKey][]ZoneMap),
 		prefetchGate: make(chan struct{}, 4),
+		retryMax:     DefaultFetchRetries,
+		retryBase:    DefaultRetryBackoff,
 	}
 	for i := range p.frames {
 		p.frames[i] = &Frame{pool: p, data: make([]byte, PageSize)}
@@ -226,11 +280,20 @@ func (p *BufferPool) Size() int { return len(p.frames) }
 
 // Fetch returns a pinned frame holding page (f, idx), reading it from disk on
 // a miss. Concurrent fetches of the same missing page coalesce into a single
-// disk read.
+// disk read. Transient read errors are retried with jittered backoff; a read
+// that stays broken (or is classified permanent) quarantines the page and
+// fails this — and every subsequent — fetch of it fast with a typed
+// PageError, leaving every other page of the file untouched.
 func (p *BufferPool) Fetch(f FileID, idx int) (*Frame, error) {
 	p.fetched.Add(1)
 	key := pageKey{file: f, idx: idx}
 	p.mu.Lock()
+	if len(p.quar) != 0 {
+		if pe, ok := p.quar[key]; ok {
+			p.mu.Unlock()
+			return nil, pe
+		}
+	}
 	if fr, ok := p.table[key]; ok {
 		fr.pins++
 		fr.ref = true
@@ -276,28 +339,168 @@ func (p *BufferPool) Fetch(f FileID, idx int) (*Frame, error) {
 	fr.rows = nil
 	fr.decoded = false
 	fr.rowsDone = false
+	fr.decErr = nil
 	ch := make(chan struct{})
 	fr.loading = ch
 	p.table[key] = fr
 	p.misses.Add(1)
 	p.mu.Unlock()
 
-	readErr := p.disk.ReadPage(f, idx, fr.data)
+	readErr := p.readPageRetry(f, idx, fr.data)
+	var pageErr *PageError
+	if readErr != nil {
+		pageErr = p.newPageError(f, idx, readErr)
+	}
 
 	p.mu.Lock()
-	fr.loadErr = readErr
+	fr.loadErr = nil
+	if pageErr != nil {
+		fr.loadErr = pageErr
+	}
 	fr.loading = nil
-	if readErr != nil {
+	if pageErr != nil {
 		fr.pins--
 		fr.valid = false
 		delete(p.table, key)
+		pageErr = p.quarantineLocked(key, pageErr)
 	}
 	p.mu.Unlock()
 	close(ch)
-	if readErr != nil {
-		return nil, fmt.Errorf("storage: fetch page %d of file %d: %w", idx, f, readErr)
+	if pageErr != nil {
+		return nil, pageErr
 	}
 	return fr, nil
+}
+
+// readPageRetry reads a page, retrying transient errors up to the pool's
+// retry budget with jittered exponential backoff. The fault-free path is a
+// single delegated read: no clock, no allocation, no branch beyond the nil
+// check.
+func (p *BufferPool) readPageRetry(f FileID, idx int, buf []byte) error {
+	err := p.disk.ReadPage(f, idx, buf)
+	for attempt := 0; err != nil && attempt < p.retryMax && IsTransient(err); attempt++ {
+		p.retries.Add(1)
+		time.Sleep(jitteredBackoff(p.retryBase, attempt))
+		err = p.disk.ReadPage(f, idx, buf)
+	}
+	return err
+}
+
+// jitteredBackoff is full jitter around an exponentially growing base:
+// uniform in [base<<attempt/2, base<<attempt*3/2).
+func jitteredBackoff(base time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d <= 0 {
+		d = base
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// SetRetryPolicy overrides the transient-read retry budget: at most max
+// retries, with jittered exponential backoff starting at base. max = 0
+// disables retries (every read error is immediately permanent).
+func (p *BufferPool) SetRetryPolicy(max int, base time.Duration) {
+	p.mu.Lock()
+	p.retryMax = max
+	if base > 0 {
+		p.retryBase = base
+	}
+	p.mu.Unlock()
+}
+
+// newPageError wraps a settled (post-retry) read failure as the typed,
+// table-attributed PageError.
+func (p *BufferPool) newPageError(f FileID, idx int, cause error) *PageError {
+	p.nmu.RLock()
+	name := p.names[f]
+	p.nmu.RUnlock()
+	return &PageError{Table: name, File: f, Page: idx, Cause: cause}
+}
+
+// quarantine records page key as permanently failed and returns the entry's
+// canonical error (the first writer wins, so concurrent failures of the same
+// page share one PageError value).
+func (p *BufferPool) quarantine(key pageKey, cause error) *PageError {
+	pe := p.newPageError(key.file, key.idx, cause)
+	p.mu.Lock()
+	pe = p.quarantineLocked(key, pe)
+	p.mu.Unlock()
+	return pe
+}
+
+func (p *BufferPool) quarantineLocked(key pageKey, pe *PageError) *PageError {
+	if prev, ok := p.quar[key]; ok {
+		return prev
+	}
+	if p.quar == nil {
+		p.quar = make(map[pageKey]*PageError)
+	}
+	p.quar[key] = pe
+	p.quarCount.Add(1)
+	return pe
+}
+
+// Quarantined returns the cumulative number of pages quarantined.
+func (p *BufferPool) Quarantined() int64 { return p.quarCount.Load() }
+
+// ClearQuarantine forgets every quarantined page — the post-repair hook
+// (media replaced, fault healed). Resident frames of quarantined pages are
+// invalidated when unpinned so stale corrupt bytes do not outlive the
+// quarantine; a pinned frame keeps its sticky decode error until it is
+// naturally evicted.
+func (p *BufferPool) ClearQuarantine() {
+	p.mu.Lock()
+	for key := range p.quar {
+		if fr, ok := p.table[key]; ok && fr.pins == 0 && fr.loading == nil {
+			delete(p.table, key)
+			fr.valid = false
+			if fr.cb != nil {
+				fr.cb.Release()
+				fr.cb = nil
+			}
+			fr.rows = nil
+			fr.decoded = false
+			fr.rowsDone = false
+			fr.decErr = nil
+		}
+	}
+	p.quar = nil
+	p.mu.Unlock()
+}
+
+// EvictFile drops every unpinned resident frame of file f so subsequent
+// fetches reach the disk again — the hook fault-injection harnesses use to
+// make freshly armed faults observable on a pool-resident table. Pinned or
+// in-flight frames are left untouched.
+func (p *BufferPool) EvictFile(f FileID) {
+	p.mu.Lock()
+	for key, fr := range p.table {
+		if key.file != f || fr.pins != 0 || fr.loading != nil {
+			continue
+		}
+		delete(p.table, key)
+		fr.valid = false
+		if fr.cb != nil {
+			fr.cb.Release()
+			fr.cb = nil
+		}
+		fr.rows = nil
+		fr.decoded = false
+		fr.rowsDone = false
+		fr.decErr = nil
+	}
+	p.mu.Unlock()
+}
+
+// RegisterFileName records the table name owning a file id, so PageErrors
+// carry the table they belong to.
+func (p *BufferPool) RegisterFileName(f FileID, name string) {
+	p.nmu.Lock()
+	if p.names == nil {
+		p.names = make(map[FileID]string)
+	}
+	p.names[f] = name
+	p.nmu.Unlock()
 }
 
 // Unpin releases a pinned frame.
@@ -424,11 +627,14 @@ func (p *BufferPool) Stats() PoolStats {
 func (p *BufferPool) DecodeStats() DecodeStats {
 	v1, v2 := p.decodedV1.Load(), p.decodedV2.Load()
 	return DecodeStats{
-		DecodedV1: v1,
-		DecodedV2: v2,
-		Migrated:  p.migrated.Load(),
-		Fetched:   p.fetched.Load(),
-		Pruned:    p.pruned.Load(),
-		Decoded:   v1 + v2,
+		DecodedV1:     v1,
+		DecodedV2:     v2,
+		Migrated:      p.migrated.Load(),
+		Fetched:       p.fetched.Load(),
+		Pruned:        p.pruned.Load(),
+		Decoded:       v1 + v2,
+		Retries:       p.retries.Load(),
+		Quarantined:   p.quarCount.Load(),
+		MigrateFailed: p.migrateFailed.Load(),
 	}
 }

@@ -316,9 +316,19 @@ type ColBatch struct {
 
 var batchPool sync.Pool
 
+// liveBatches gauges batches checked out of the pool (Get/ProjectCols minus
+// final Releases) — the refcount-leak oracle the fault batteries assert on:
+// once every query has completed or failed, the gauge must return to the
+// caller's baseline (page-frame caches excluded by the caller).
+var liveBatches atomic.Int64
+
+// LiveBatches returns the number of pooled batches currently checked out.
+func LiveBatches() int64 { return liveBatches.Load() }
+
 // Get takes a recycled batch from the pool (or allocates one) sized for
 // ncols columns, with one reference held by the caller.
 func Get(ncols int) *ColBatch {
+	liveBatches.Add(1)
 	b, _ := batchPool.Get().(*ColBatch)
 	if b == nil {
 		b = &ColBatch{}
@@ -345,6 +355,7 @@ func (b *ColBatch) Retain() { b.refs.Add(1) }
 func (b *ColBatch) Release() {
 	switch n := b.refs.Add(-1); {
 	case n == 0:
+		liveBatches.Add(-1)
 		if p := b.parent; p != nil {
 			// Derived batch: the Vec payload arrays belong to the parent, so
 			// drop the struct references without clearing the arrays.
@@ -375,6 +386,7 @@ func (b *ColBatch) Release() {
 // on b (released when the derived batch's last reference drops) and one
 // caller-owned reference on itself. b must be sealed.
 func ProjectCols(b *ColBatch, idxs []int) *ColBatch {
+	liveBatches.Add(1)
 	d, _ := batchPool.Get().(*ColBatch)
 	if d == nil {
 		d = &ColBatch{}

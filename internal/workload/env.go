@@ -42,6 +42,11 @@ type Env struct {
 	Cat  *storage.Catalog
 	Disk *storage.MemDisk
 
+	// Fault is the fault-injection layer between the catalog and the disk;
+	// set only when EnvConfig.FaultInjection was requested (Scenario F and
+	// the chaos batteries).
+	Fault *storage.FaultDisk
+
 	SSB      *ssb.DB        // set by NewSSBEnv
 	Lineitem *storage.Table // set by NewTPCHEnv
 
@@ -63,7 +68,7 @@ func estimatePages(factRows int) int {
 // memory-resident databases the pool covers the whole database; for
 // disk-resident ones it covers poolFraction of it and every miss pays the
 // HDD-profile latency.
-func newCatalog(factRows int, res Residency, poolPages int) (*storage.Catalog, *storage.MemDisk, int) {
+func newCatalog(factRows int, res Residency, poolPages int, fault bool) (*storage.Catalog, *storage.MemDisk, *storage.FaultDisk, int) {
 	est := estimatePages(factRows)
 	var disk *storage.MemDisk
 	switch res {
@@ -78,7 +83,15 @@ func newCatalog(factRows int, res Residency, poolPages int) (*storage.Catalog, *
 			poolPages = est*2 + 256
 		}
 	}
-	return storage.NewCatalog(disk, poolPages, true), disk, poolPages
+	var fd *storage.FaultDisk
+	var d storage.Disk = disk
+	if fault {
+		// The fault layer starts fully disarmed: generation and warm-up
+		// I/O pass through untouched until a scenario arms a fault mode.
+		fd = storage.NewFaultDisk(disk)
+		d = fd
+	}
+	return storage.NewCatalog(d, poolPages, true), disk, fd, poolPages
 }
 
 // EnvConfig parameterizes an environment beyond the positional basics:
@@ -100,6 +113,11 @@ type EnvConfig struct {
 	// NoFold disables predicate-subsumption query folding at CJOIN
 	// admission (the reuse ablation toggle; folding is on by default).
 	NoFold bool
+	// FaultInjection interposes a storage.FaultDisk (initially disarmed)
+	// between the catalog and the disk, exposed as Env.Fault — the hook
+	// Scenario F and the chaos batteries use to inject read/write faults,
+	// corrupt bytes and poisoned pages.
+	FaultInjection bool
 }
 
 // NewSSBEnv generates an SSB database and starts the CJOIN operator over
@@ -112,7 +130,7 @@ func NewSSBEnv(sf float64, res Residency, poolPages int, seed int64) (*Env, erro
 // NewSSBEnvCfg is NewSSBEnv with every knob exposed.
 func NewSSBEnvCfg(cfg EnvConfig) (*Env, error) {
 	factRows := int(float64(ssb.LineorderRowsPerSF) * cfg.SF)
-	cat, disk, pool := newCatalog(factRows, cfg.Residency, cfg.PoolPages)
+	cat, disk, fd, pool := newCatalog(factRows, cfg.Residency, cfg.PoolPages, cfg.FaultInjection)
 	db, err := ssb.GenerateOpts(cat, cfg.SF, cfg.Seed, ssb.GenOptions{DateClustered: cfg.DateClustered})
 	if err != nil {
 		return nil, fmt.Errorf("workload: generate ssb: %w", err)
@@ -131,14 +149,14 @@ func NewSSBEnvCfg(cfg EnvConfig) (*Env, error) {
 		// cursors consume resident relevant pages before paying for cold ones.
 		db.Lineorder.ScanGroup().SetDemandFirst(true)
 	}
-	return &Env{Cat: cat, Disk: disk, SSB: db, CJoin: op,
+	return &Env{Cat: cat, Disk: disk, Fault: fd, SSB: db, CJoin: op,
 		Residency: cfg.Residency, PoolPages: pool, NoPrune: cfg.NoPrune}, nil
 }
 
 // NewTPCHEnv generates the lineitem table for Scenario I.
 func NewTPCHEnv(sf float64, res Residency, poolPages int, seed int64) (*Env, error) {
 	factRows := int(float64(tpch.LineitemRowsPerSF) * sf)
-	cat, disk, pool := newCatalog(factRows, res, poolPages)
+	cat, disk, _, pool := newCatalog(factRows, res, poolPages, false)
 	tbl, err := tpch.Generate(cat, sf, seed)
 	if err != nil {
 		return nil, fmt.Errorf("workload: generate tpch: %w", err)

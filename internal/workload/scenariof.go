@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cjoin"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/ssb"
+	"repro/internal/storage"
+)
+
+// ---------------------------------------------------------------------------
+// Scenario F: fault-isolated shared execution (goodput vs page fault rate)
+//
+// A fraction of the date-clustered fact table's pages is permanently
+// poisoned; clients keep submitting windowed date queries through the CJOIN
+// global plan. Blast-radius containment predicts goodput that degrades
+// proportionally with the poisoned fraction — a query fails only when its
+// date window covers a quarantined page — instead of the pre-containment
+// cliff where one bad page failed every query sharing the sweep.
+
+// ScenarioFConfig parameterizes the fault-rate axis.
+type ScenarioFConfig struct {
+	SF float64
+	// FaultRates is the x-axis: the fraction of fact pages permanently
+	// poisoned (deterministically, via FaultDisk.PoisonRate).
+	FaultRates      []float64
+	Clients         int
+	Plans           int // distinct date windows per rate (randomized starts)
+	Selectivity     int // date-window selectivity in percent of the calendar
+	Duration        time.Duration
+	BufferPoolPages int
+	Seed            int64
+	// Workers is the CJOIN probe parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c ScenarioFConfig) withDefaults() ScenarioFConfig {
+	if c.SF <= 0 {
+		c.SF = 0.01
+	}
+	if len(c.FaultRates) == 0 {
+		c.FaultRates = []float64{0, 0.01, 0.05, 0.1, 0.25}
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Plans <= 0 {
+		c.Plans = 16
+	}
+	if c.Selectivity <= 0 {
+		c.Selectivity = 10
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ScenarioFPoint is one fault-rate point.
+type ScenarioFPoint struct {
+	FaultRate float64
+	// Goodput is successfully completed queries per second — the headline
+	// metric: it must degrade proportionally with the poisoned fraction,
+	// never fall off a cliff.
+	Goodput float64
+	// Succeeded / FailedTyped partition every finished query; UntypedErrors
+	// counts queries that ended in anything other than complete results or
+	// a typed fault (the invariant is that this stays zero).
+	Succeeded     int64
+	FailedTyped   int64
+	UntypedErrors int64
+	// MeanLatency is the mean response time of the successful queries.
+	MeanLatency time.Duration
+	// Observability behind the goodput number.
+	PagesQuarantined int64 // pool pages quarantined during the window
+	Retries          int64 // transient-read retries during the window
+	InjectedReads    int64 // reads failed by the fault layer
+}
+
+// ScenarioFResult is the full fault axis.
+type ScenarioFResult struct {
+	Config ScenarioFConfig
+	Points []ScenarioFPoint
+}
+
+// typedFault reports whether err is one of the engine's typed failure
+// shapes: a quarantined-page error, an injected fault, a deadline/cancel, a
+// contained panic, or an operator shutdown. Anything else counts against
+// the "exactly one of {complete results, typed error}" invariant.
+func typedFault(err error) bool {
+	var pe *storage.PageError
+	var cpe *cjoin.PanicError
+	var epe *engine.PanicError
+	return errors.As(err, &pe) ||
+		errors.Is(err, storage.ErrInjected) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.As(err, &cpe) ||
+		errors.As(err, &epe) ||
+		errors.Is(err, cjoin.ErrClosed)
+}
+
+// faultTolerantLoop is closedLoopThroughput's goodput-aware sibling: typed
+// per-query failures are counted and the client moves on to its next query,
+// so one poisoned page never stalls the measurement. Untyped errors are
+// counted separately (they indicate a containment bug, not a fault).
+func faultTolerantLoop(ctx context.Context, e *engine.Engine, clients int, dur time.Duration, src planSource, seed int64) (succeeded, failed, untyped int64, okLatency time.Duration) {
+	deadline := time.Now().Add(dur)
+	var okN, failN, badN, okNanos atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(i)*7919))
+			for time.Now().Before(deadline) {
+				q0 := time.Now()
+				_, err := e.Execute(ctx, src(r))
+				switch {
+				case err == nil:
+					okNanos.Add(int64(time.Since(q0)))
+					okN.Add(1)
+				case typedFault(err):
+					failN.Add(1)
+				default:
+					badN.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return okN.Load(), failN.Load(), badN.Load(), time.Duration(okNanos.Load())
+}
+
+// RunScenarioF measures goodput against the poisoned-page rate. Expected
+// shape: goodput at rate r is roughly (1 - coverage(r)) times the fault-free
+// goodput, where coverage(r) is the probability a query's date window
+// touches a poisoned page — proportional degradation, no cliff.
+func RunScenarioF(ctx context.Context, cfg ScenarioFConfig) (*ScenarioFResult, error) {
+	cfg = cfg.withDefaults()
+	env, err := NewSSBEnvCfg(EnvConfig{SF: cfg.SF, Residency: DiskResident,
+		PoolPages: cfg.BufferPoolPages, Seed: cfg.Seed, Workers: cfg.Workers,
+		DateClustered: true, FaultInjection: true})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	fd := env.Fault
+	// Only the fact table is faulted: blast radius is then a pure function
+	// of which date windows cover which fact pages.
+	fd.Target(env.SSB.Lineorder.File.ID())
+	// Poisoned pages are classified permanent, so retries are skipped and a
+	// quarantine sticks after the first read; keep the transient-retry
+	// budget tight anyway so a misclassification cannot stall the axis.
+	env.Cat.Pool().SetRetryPolicy(2, 100*time.Microsecond)
+
+	res := &ScenarioFResult{Config: cfg}
+	for _, rate := range cfg.FaultRates {
+		// Each rate starts clean: disarm the previous poisons and lift the
+		// quarantines they caused, then arm the new deterministic rate.
+		fd.Heal()
+		env.Cat.Pool().ClearQuarantine()
+		if rate > 0 {
+			fd.PoisonRate(rate, uint64(cfg.Seed)+0x9e3779b97f4a7c15)
+		}
+		// Evict the fact table's resident frames so the freshly armed poisons
+		// are observable: a pool-resident page would never reach the fault
+		// layer. This also equalizes warm-up across rates.
+		env.Cat.Pool().EvictFile(env.SSB.Lineorder.File.ID())
+
+		pool := ssb.DateWindowPool(env.SSB, cfg.Selectivity, cfg.Plans, cfg.Seed+int64(rate*1000))
+		e := env.Engine(gqpNoSPConfig())
+		src := func(r *rand.Rand) plan.Node {
+			return pool[r.Intn(len(pool))].Plan(true)
+		}
+
+		dsBefore := env.Cat.Pool().DecodeStats()
+		injBefore := fd.Injected()
+		start := time.Now()
+		ok, failed, untyped, okNanos := faultTolerantLoop(ctx, e, cfg.Clients, cfg.Duration, src, cfg.Seed)
+		elapsed := time.Since(start)
+		dsAfter := env.Cat.Pool().DecodeStats()
+
+		pt := ScenarioFPoint{
+			FaultRate:        rate,
+			Succeeded:        ok,
+			FailedTyped:      failed,
+			UntypedErrors:    untyped,
+			PagesQuarantined: dsAfter.Quarantined - dsBefore.Quarantined,
+			Retries:          dsAfter.Retries - dsBefore.Retries,
+			InjectedReads:    fd.Injected() - injBefore,
+		}
+		if ok > 0 {
+			pt.Goodput = float64(ok) / elapsed.Seconds()
+			pt.MeanLatency = okNanos / time.Duration(ok)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}

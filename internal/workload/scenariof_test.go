@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestScenarioFSmoke runs a tiny fault axis end to end and asserts the
+// containment invariant the scenario exists to demonstrate: every query
+// finishes as either a success or a typed fault — never an untyped error —
+// and the fault-free point actually does work.
+func TestScenarioFSmoke(t *testing.T) {
+	res, err := RunScenarioF(context.Background(), ScenarioFConfig{
+		SF:         0.001,
+		FaultRates: []float64{0, 0.25},
+		Clients:    2,
+		Plans:      4,
+		Duration:   150 * time.Millisecond,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.UntypedErrors != 0 {
+			t.Errorf("rate %.2f: UntypedErrors = %d, want 0 (containment bug)", pt.FaultRate, pt.UntypedErrors)
+		}
+		if pt.Succeeded+pt.FailedTyped == 0 {
+			t.Errorf("rate %.2f: no queries finished", pt.FaultRate)
+		}
+	}
+	clean := res.Points[0]
+	if clean.Goodput <= 0 || clean.Succeeded == 0 {
+		t.Errorf("fault-free point: goodput %.1f, succeeded %d — want > 0", clean.Goodput, clean.Succeeded)
+	}
+	if clean.FailedTyped != 0 {
+		t.Errorf("fault-free point: FailedTyped = %d, want 0", clean.FailedTyped)
+	}
+}
