@@ -30,6 +30,7 @@ import (
 	"repro/internal/cjoin"
 	"repro/internal/engine"
 	"repro/internal/plan"
+	"repro/internal/service"
 	"repro/internal/ssb"
 	"repro/internal/storage"
 	"repro/internal/tpch"
@@ -85,6 +86,43 @@ type (
 	SSBTemplate = ssb.Template
 	// SSBInstance is one instantiated SSB query (star + upper fragment).
 	SSBInstance = ssb.Instance
+
+	// Gateway is the admission-controlled query service tier: bounded
+	// per-latency-class FIFOs, backpressure shedding, deadline-aware
+	// admission and streaming delivery in front of an Engine.
+	Gateway = service.Gateway
+	// ServiceConfig sizes a Gateway (per-class slots, queue depth,
+	// high-water mark, classification thresholds).
+	ServiceConfig = service.Config
+	// ServiceStats snapshots a Gateway plus the engine-side counters it
+	// fronts (the /statsz payload).
+	ServiceStats = service.Stats
+	// ServiceClass is a latency class (short or long).
+	ServiceClass = service.Class
+	// ServicePriority orders arrivals for shedding (Normal sheds first).
+	ServicePriority = service.Priority
+	// OverloadError is the typed rejection of a shed arrival (carries the
+	// Retry-After hint); matches ErrOverloaded via errors.Is.
+	OverloadError = service.OverloadError
+	// WouldMissError is the typed rejection of a query whose deadline
+	// cannot cover its class's p95 service time; matches ErrWouldMiss.
+	WouldMissError = service.WouldMissError
+)
+
+// Service-tier sentinels and enums.
+var (
+	// ErrOverloaded matches every backpressure shed (errors.Is).
+	ErrOverloaded = service.ErrOverloaded
+	// ErrWouldMiss matches every deadline-aware rejection (errors.Is).
+	ErrWouldMiss = service.ErrWouldMiss
+)
+
+// Latency classes and shedding priorities.
+const (
+	ClassShort     = service.ClassShort
+	ClassLong      = service.ClassLong
+	PriorityNormal = service.Normal
+	PriorityHigh   = service.High
 )
 
 // Sharing models.
@@ -175,6 +213,14 @@ type (
 	ScenarioFResult = workload.ScenarioFResult
 	// ScenarioFPoint is one fault-rate measurement.
 	ScenarioFPoint = workload.ScenarioFPoint
+	// ScenarioVConfig parameterizes the Scenario V overload axis (open-loop
+	// Poisson arrivals through the service tier, offered load past capacity).
+	ScenarioVConfig = workload.ScenarioVConfig
+	// ScenarioVResult holds the offered-load points plus the calibrated
+	// capacity they scale.
+	ScenarioVResult = workload.ScenarioVResult
+	// ScenarioVPoint is one offered-load measurement.
+	ScenarioVPoint = workload.ScenarioVPoint
 )
 
 // Scenario entry points.
@@ -197,6 +243,10 @@ var (
 	// permanently poisoned and goodput must degrade proportionally (only
 	// queries whose date windows cover a quarantined page fail).
 	RunScenarioF = workload.RunScenarioF
+	// RunScenarioV runs the overload axis: open-loop Poisson arrivals of a
+	// short/long query mix through the admission-controlled gateway, offered
+	// load swept past calibrated capacity — goodput must degrade gracefully.
+	RunScenarioV = workload.RunScenarioV
 )
 
 // Residency values.
@@ -315,6 +365,22 @@ func (s *System) SSB() *SSBDatabase { return s.ssbDB }
 
 // Lineitem returns the loaded TPC-H table (nil before LoadTPCH).
 func (s *System) Lineitem() *Table { return s.lineitem }
+
+// NewGateway builds an admission-controlled service tier over a fresh engine
+// (see NewEngine), pre-wiring the system's CJOIN operator and buffer pool
+// into the gateway's Stats snapshot. Callers submit plans through
+// Gateway.Submit / Gateway.Stream instead of talking to the engine directly;
+// overload surfaces as typed ErrOverloaded / ErrWouldMiss rejections rather
+// than unbounded queueing.
+func (s *System) NewGateway(engCfg EngineConfig, svcCfg ServiceConfig) *Gateway {
+	if svcCfg.CJoin == nil {
+		svcCfg.CJoin = s.gqp
+	}
+	if svcCfg.Pool == nil {
+		svcCfg.Pool = s.cat.Pool()
+	}
+	return service.NewGateway(s.NewEngine(engCfg), svcCfg)
+}
 
 // NewEngine builds an execution engine over the system, wiring the CJOIN
 // pipeline as the engine's StarRunner when one is running. Unless the

@@ -13,8 +13,10 @@ import (
 	"html/template"
 	"log"
 	"net/http"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -104,10 +106,40 @@ func scenarioDefaults(s int) (string, map[string]string) {
 
 func main() {
 	flag.Parse()
-	http.HandleFunc("/", handleIndex)
-	http.HandleFunc("/run", handleRun)
-	log.Printf("demo GUI listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, nil))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", handleIndex)
+	mux.HandleFunc("/run", handleRun)
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: mux,
+		// An experiment run can take minutes (handleRun budgets 5), so the
+		// write timeout must cover the longest sweep; the header/read/idle
+		// timeouts bound slow or stuck clients.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      6 * time.Minute,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("demo GUI listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining in-flight runs")
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
 }
 
 func handleIndex(w http.ResponseWriter, r *http.Request) {

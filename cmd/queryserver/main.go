@@ -1,0 +1,269 @@
+// Command queryserver is the overload-safe HTTP front door to the shared
+// engine: every query passes through the admission-controlled service tier
+// (latency classification, bounded per-class queues, backpressure shedding,
+// deadline-aware rejection) and result batches stream to the client as the
+// engine produces them — a disconnected client cancels its query, a shed one
+// gets a typed 503 with a Retry-After hint instead of a hung connection.
+//
+// Endpoints:
+//
+//	GET /query?template=datewin&sel=10&start=0[&deadline_ms=500][&priority=high]
+//	GET /query?template=Q2.1[&seed=7]
+//	    Streams result rows as NDJSON, one JSON object per row, flushed
+//	    batch by batch.
+//	GET /statsz
+//	    JSON snapshot of the gateway's admission/wait-state accounting plus
+//	    engine, CJOIN and buffer-pool counters.
+//	GET /healthz
+//
+// Run with: go run ./cmd/queryserver -addr :8081 -sf 0.01
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/batch"
+	"repro/internal/ssb"
+	"repro/internal/types"
+)
+
+var (
+	addr       = flag.String("addr", ":8081", "listen address")
+	sf         = flag.Float64("sf", 0.01, "SSB scale factor")
+	seed       = flag.Int64("seed", 1, "data generation seed")
+	shortSlots = flag.Int("short-slots", 4, "short-class concurrency limit")
+	longSlots  = flag.Int("long-slots", 2, "long-class concurrency limit")
+	queueDepth = flag.Int("queue-depth", 64, "per-class admission queue bound")
+	highWater  = flag.Int("high-water", 32, "total queued count that sheds normal-priority arrivals")
+	drainMax   = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+)
+
+// server bundles the system and its gateway for the handlers.
+type server struct {
+	sys *repro.System
+	db  *repro.SSBDatabase
+	gw  *repro.Gateway
+}
+
+func main() {
+	flag.Parse()
+	log.Printf("generating SSB sf=%g ...", *sf)
+	sys := repro.NewSystem(repro.Config{})
+	db, err := sys.LoadSSB(*sf, *seed)
+	if err != nil {
+		log.Fatalf("load ssb: %v", err)
+	}
+	defer sys.Close()
+	srv := &server{sys: sys, db: db, gw: sys.NewGateway(repro.EngineConfig{}, repro.ServiceConfig{
+		ShortSlots: *shortSlots, LongSlots: *longSlots,
+		QueueDepth: *queueDepth, HighWater: *highWater,
+	})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", srv.handleQuery)
+	mux.HandleFunc("/statsz", srv.handleStatsz)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: mux,
+		// Header/read/idle timeouts bound slow or stuck clients. There is
+		// deliberately no WriteTimeout: responses stream for as long as a
+		// long sweep produces batches, and an abandoned connection is torn
+		// down by the per-request context instead.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("query service listening on %s", *addr)
+		errCh <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining in-flight queries (budget %s)", *drainMax)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainMax)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("drained; bye")
+}
+
+// buildInstance resolves the request's query template.
+func (s *server) buildInstance(q map[string]string) (ssb.Instance, error) {
+	tpl := q["template"]
+	switch {
+	case tpl == "" || strings.EqualFold(tpl, "datewin"):
+		sel, start := 10, 0
+		if v, err := strconv.Atoi(q["sel"]); err == nil {
+			sel = v
+		}
+		if v, err := strconv.Atoi(q["start"]); err == nil {
+			start = v
+		}
+		if sel < 1 || sel > 100 {
+			return ssb.Instance{}, fmt.Errorf("sel %d out of range 1..100", sel)
+		}
+		return ssb.DateWindow(s.db, sel, start), nil
+	default:
+		for _, t := range ssb.AllTemplates {
+			if strings.EqualFold(t.String(), tpl) {
+				sd := int64(1)
+				if v, err := strconv.ParseInt(q["seed"], 10, 64); err == nil {
+					sd = v
+				}
+				return ssb.Instantiate(s.db, t, rand.New(rand.NewSource(sd))), nil
+			}
+		}
+		return ssb.Instance{}, fmt.Errorf("unknown template %q", tpl)
+	}
+}
+
+// retryAfterSeconds renders the hint for the Retry-After header (ceiling,
+// minimum 1 second — the header's granularity).
+func retryAfterSeconds(d time.Duration) string {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := map[string]string{}
+	for k, vs := range r.URL.Query() {
+		if len(vs) > 0 {
+			q[k] = vs[0]
+		}
+	}
+	in, err := s.buildInstance(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// The request context carries client disconnects; an optional
+	// deadline_ms bounds the query server-side and arms the gateway's
+	// would-miss admission check.
+	ctx := r.Context()
+	if v, err := strconv.Atoi(q["deadline_ms"]); err == nil && v > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(v)*time.Millisecond)
+		defer cancel()
+	}
+	pri := repro.PriorityNormal
+	if strings.EqualFold(q["priority"], "high") {
+		pri = repro.PriorityHigh
+	}
+
+	root := in.Plan(true)
+	schema := root.Schema()
+	cols := make([]string, schema.Len())
+	for i := range cols {
+		cols[i] = schema.Cols[i].Name
+	}
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wroteHeader := false
+	emit := func(b *batch.Batch) error {
+		if !wroteHeader {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			wroteHeader = true
+		}
+		for _, row := range b.RowsView() {
+			if err := enc.Encode(rowObject(cols, row)); err != nil {
+				return err // client went away: cancels the query
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	err = s.gw.StreamOpts(ctx, root, pri, emit)
+	if err == nil {
+		if !wroteHeader { // empty result
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		return
+	}
+	if wroteHeader {
+		// Mid-stream failure: the status line is gone, so the best we can do
+		// is a typed trailer object before closing the connection.
+		_ = enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	var oe *repro.OverloadError
+	var wm *repro.WouldMissError
+	switch {
+	case errors.As(err, &oe):
+		w.Header().Set("Retry-After", retryAfterSeconds(oe.RetryAfter))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &wm), errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// Client disconnected before the first batch; nothing to write.
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// rowObject renders one result row as a column-name → value map.
+func rowObject(cols []string, row types.Row) map[string]any {
+	out := make(map[string]any, len(cols))
+	for i, name := range cols {
+		if i >= len(row) {
+			break
+		}
+		d := row[i]
+		switch d.K {
+		case types.KindNull:
+			out[name] = nil
+		case types.KindInt:
+			out[name] = d.Int()
+		case types.KindFloat:
+			out[name] = d.Float()
+		case types.KindBool:
+			out[name] = d.Bool()
+		default:
+			out[name] = d.String()
+		}
+	}
+	return out
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.gw.Stats()); err != nil {
+		log.Printf("statsz: %v", err)
+	}
+}

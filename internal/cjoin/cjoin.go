@@ -590,6 +590,12 @@ func (op *Operator) Run(ctx context.Context, q *plan.StarQuery, emit func(*batch
 	if err != nil {
 		return err
 	}
+	// A context dead on arrival never enters the admission select: the
+	// select below would otherwise race a ready admitCh against the closed
+	// Done channel and sometimes admit work nobody will consume.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		// Honored server-side: the scanner retires the query between pages
 		// once the deadline passes, whether or not the consumer is reading.

@@ -427,6 +427,30 @@ func TestCancellationMidSweep(t *testing.T) {
 	}
 }
 
+// TestRunPreCanceledContext is the admission-path context regression: a
+// context already dead at Run never occupies a GQP slot, returns its error
+// immediately, and leaves the operator untouched for live queries.
+func TestRunPreCanceledContext(t *testing.T) {
+	cat := starDB(t, 5000)
+	op := newOp(t, cat)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	admittedBefore := op.Stats().Admitted
+	err := op.Run(ctx, asiaEuropeQuery(cat, 4, 0), func(*batch.Batch) error {
+		t.Error("emit called for a pre-canceled query")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := op.Stats().Admitted; got != admittedBefore {
+		t.Fatalf("pre-canceled query was admitted (Admitted %d -> %d)", admittedBefore, got)
+	}
+	// The operator stays fully usable.
+	q := asiaEuropeQuery(cat, 2, 90)
+	mustEqualRows(t, runStar(t, op, q), evalStarNaive(t, q))
+}
+
 func TestEmitErrorCancelsQuery(t *testing.T) {
 	cat := starDB(t, 5000)
 	op := newOp(t, cat)

@@ -157,6 +157,17 @@ func (e *Engine) Execute(ctx context.Context, root plan.Node) (*Result, error) {
 	return res, err
 }
 
+// Stream runs one plan and returns the reader delivering its output batches
+// as they are produced, without materializing the result. The caller owns the
+// reader: it must call Done on every delivered batch and Close the reader
+// (early Close cancels the producing packet chain). Streaming bypasses the
+// result cache in both directions — batches are consumed destructively, so
+// there is nothing reusable to store, and serving a cached materialization
+// would defeat the point of incremental delivery.
+func (e *Engine) Stream(ctx context.Context, root plan.Node) (Reader, error) {
+	return e.dispatch(ctx, root, closedGate)
+}
+
 // ExecuteBatch dispatches all plans before any packet starts producing, then
 // runs them concurrently. This models clients coordinating to submit their
 // queries in batches, which maximizes SP opportunities (Scenario IV) because

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// TestStreamDeliversAllRows checks that the streaming path yields exactly the
+// rows Execute materializes, batch by batch.
+func TestStreamDeliversAllRows(t *testing.T) {
+	cat := testDB(t, 20000)
+	e := newTestEngine(cat, Config{})
+	root := plan.NewScan(cat.MustTable("sales"))
+
+	r, err := e.Stream(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []types.Row
+	batches := 0
+	for {
+		b, err := r.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, b.RowsView()...)
+		b.Done()
+		batches++
+	}
+	r.Close()
+	if batches < 2 {
+		t.Fatalf("streamed in %d batch(es); want incremental delivery", batches)
+	}
+	mustEqualRows(t, rows, salesRows(t, cat))
+}
+
+// TestStreamCancelMidDelivery is the streaming-path context regression: a
+// consumer whose context dies mid-stream must observe the cancellation, and
+// closing the reader must tear down the producing packet chain without
+// leaking pooled batches.
+func TestStreamCancelMidDelivery(t *testing.T) {
+	cat := testDB(t, 50000)
+	e := newTestEngine(cat, Config{})
+
+	// Warm the scan once so pool-resident decoded frames (which count as
+	// live batches until evicted) are part of the baseline.
+	if _, err := e.Execute(context.Background(), plan.NewScan(cat.MustTable("sales"))); err != nil {
+		t.Fatal(err)
+	}
+	before := vec.LiveBatches()
+	ctx, cancel := context.WithCancel(context.Background())
+	r, err := e.Stream(ctx, plan.NewScan(cat.MustTable("sales")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Done()
+	cancel()
+	for {
+		b, err := r.Next(ctx)
+		if err != nil {
+			if err != context.Canceled {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			break
+		}
+		b.Done()
+	}
+	r.Close()
+
+	// The producer must wind down and return every checked-out batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for vec.LiveBatches() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("live batches %d > %d after cancel+close", vec.LiveBatches(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The engine stays usable after the abandoned stream.
+	res, err := e.Execute(context.Background(), q1Plan(cat, 3))
+	if err != nil || len(res.Rows) == 0 {
+		t.Fatalf("post-cancel execute: %v (%d rows)", err, len(res.Rows))
+	}
+}
+
+// TestStreamEarlyCloseReleasesProducer closes the reader without draining it;
+// the packet chain must unwind on its own.
+func TestStreamEarlyCloseReleasesProducer(t *testing.T) {
+	cat := testDB(t, 50000)
+	e := newTestEngine(cat, Config{})
+
+	// Warm the scan so pool residency is in the baseline (see above).
+	if _, err := e.Execute(context.Background(), plan.NewScan(cat.MustTable("sales"))); err != nil {
+		t.Fatal(err)
+	}
+	before := vec.LiveBatches()
+	r, err := e.Stream(context.Background(), plan.NewScan(cat.MustTable("sales")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Done()
+	r.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for vec.LiveBatches() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("live batches %d > %d after early close", vec.LiveBatches(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOverloaded is the sentinel matched (errors.Is) by every shed-at-arrival
+// rejection: the admission queue is past its high-water mark (low-priority
+// arrivals) or completely full (any priority). The concrete error is always
+// an *OverloadError carrying the Retry-After hint.
+var ErrOverloaded = errors.New("service: overloaded, retry later")
+
+// ErrWouldMiss is the sentinel matched (errors.Is) by deadline-aware
+// rejections: the query's remaining deadline cannot cover its latency
+// class's observed p95 service time, so running it would only burn a slot to
+// produce a result nobody can use. The concrete error is always a
+// *WouldMissError.
+var ErrWouldMiss = errors.New("service: deadline would be missed")
+
+// OverloadError is the typed rejection of an arrival shed by backpressure.
+type OverloadError struct {
+	// Class is the latency class the query was assigned.
+	Class Class
+	// Queued is the class queue length observed at rejection.
+	Queued int
+	// RetryAfter is the suggested client backoff, derived from the class's
+	// observed drain rate (queue length x mean service time / slots).
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: overloaded (class=%s queued=%d), retry after %s",
+		e.Class, e.Queued, e.RetryAfter)
+}
+
+// Is matches the ErrOverloaded sentinel.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// WouldMissError is the typed rejection of a query whose deadline cannot be
+// met: admitting it would occupy a slot for work the caller will discard.
+type WouldMissError struct {
+	// Class is the latency class the query was assigned.
+	Class Class
+	// Remaining is the deadline budget left at the check.
+	Remaining time.Duration
+	// Need is the class's p95 service time the budget was compared against.
+	Need time.Duration
+}
+
+func (e *WouldMissError) Error() string {
+	return fmt.Sprintf("service: %s deadline budget %s cannot cover p95 service time %s",
+		e.Class, e.Remaining, e.Need)
+}
+
+// Is matches the ErrWouldMiss sentinel.
+func (e *WouldMissError) Is(target error) bool { return target == ErrWouldMiss }

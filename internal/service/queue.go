@@ -1,0 +1,195 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// errQueueFull is the internal signal that a class queue has no waiter slot
+// left; admit converts it into a typed *OverloadError.
+var errQueueFull = errors.New("service: class queue full")
+
+// waiter is one queued admission request. ready is closed by the releasing
+// goroutine when a slot is handed over; granted records the hand-off so a
+// racing cancellation knows it must give the slot back.
+type waiter struct {
+	ready   chan struct{}
+	granted bool
+}
+
+// classQueue is a FIFO slot semaphore with a bounded waiting line: Slots
+// concurrent executions per latency class, at most depth callers parked
+// behind them, strict arrival order. Parked callers honor context
+// cancellation (the cancel-while-queued path releases nothing because
+// nothing was held, or re-releases the slot if the grant raced the cancel).
+type classQueue struct {
+	mu      sync.Mutex
+	free    int // free execution slots
+	depth   int // waiter bound
+	waiters []*waiter
+}
+
+func newClassQueue(slots, depth int) *classQueue {
+	return &classQueue{free: slots, depth: depth}
+}
+
+// acquire takes an execution slot, parking FIFO behind earlier arrivals. It
+// fails fast with errQueueFull when the waiting line is at capacity and with
+// ctx.Err() if the context ends while parked.
+func (q *classQueue) acquire(ctx context.Context) error {
+	q.mu.Lock()
+	if q.free > 0 && len(q.waiters) == 0 {
+		q.free--
+		q.mu.Unlock()
+		return nil
+	}
+	if len(q.waiters) >= q.depth {
+		q.mu.Unlock()
+		return errQueueFull
+	}
+	w := &waiter{ready: make(chan struct{})}
+	q.waiters = append(q.waiters, w)
+	q.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		granted := w.granted
+		if !granted {
+			for i, cand := range q.waiters {
+				if cand == w {
+					q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		q.mu.Unlock()
+		if granted {
+			// The grant raced the cancellation: the slot is ours, so hand it
+			// to the next waiter (or back to the free pool).
+			q.release()
+		}
+		return ctx.Err()
+	}
+}
+
+// release returns a slot, handing it to the oldest waiter if any is parked.
+func (q *classQueue) release() {
+	q.mu.Lock()
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		w.granted = true
+		close(w.ready)
+	} else {
+		q.free++
+	}
+	q.mu.Unlock()
+}
+
+// queued returns the number of parked callers.
+func (q *classQueue) queued() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.waiters)
+}
+
+// running returns the number of occupied execution slots.
+func (q *classQueue) running(slots int) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return slots - q.free
+}
+
+// ---------------------------------------------------------------------------
+// Latency observation ring
+
+// ringSize is the per-class observation window; quantiles are computed over
+// the most recent ringSize samples.
+const ringSize = 256
+
+// recalcEvery bounds how often the cached quantiles are recomputed: a sort
+// of the window every recalcEvery samples instead of per admission.
+const recalcEvery = 32
+
+// latRing tracks a sliding window of durations (queue waits or service
+// times) with cached p50/p95/p99 and an exponentially weighted mean. It is
+// the estimator behind deadline-aware admission (p95) and the Retry-After
+// hint (mean).
+type latRing struct {
+	mu      sync.Mutex
+	buf     [ringSize]int64
+	n       int // total samples ever added
+	stale   int // samples since the last quantile recalc
+	mean    float64
+	p50     int64
+	p95     int64
+	p99     int64
+	scratch []int64
+}
+
+// add records one observation and refreshes the cached quantiles when the
+// window has drifted far enough.
+func (r *latRing) add(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%ringSize] = int64(d)
+	r.n++
+	if r.mean == 0 {
+		r.mean = float64(d)
+	} else {
+		r.mean += 0.05 * (float64(d) - r.mean)
+	}
+	r.stale++
+	if r.stale >= recalcEvery || r.n <= recalcEvery {
+		r.recalcLocked()
+		r.stale = 0
+	}
+	r.mu.Unlock()
+}
+
+// recalcLocked sorts a copy of the window and caches the quantiles.
+func (r *latRing) recalcLocked() {
+	n := r.n
+	if n > ringSize {
+		n = ringSize
+	}
+	if n == 0 {
+		return
+	}
+	if cap(r.scratch) < n {
+		r.scratch = make([]int64, n)
+	}
+	s := r.scratch[:n]
+	copy(s, r.buf[:n])
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	r.p50 = s[n/2]
+	r.p95 = s[n*95/100]
+	r.p99 = s[n*99/100]
+}
+
+// quantiles returns the cached p50/p95/p99; zeros before the first sample.
+func (r *latRing) quantiles() (p50, p95, p99 time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.p50), time.Duration(r.p95), time.Duration(r.p99)
+}
+
+// p95Estimate returns the cached p95 (zero before the first sample, which
+// deliberately disables deadline-aware rejection until evidence exists).
+func (r *latRing) p95Estimate() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.p95)
+}
+
+// meanEstimate returns the exponentially weighted mean.
+func (r *latRing) meanEstimate() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.mean)
+}

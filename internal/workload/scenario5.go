@@ -1,0 +1,309 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/service"
+	"repro/internal/ssb"
+)
+
+// ---------------------------------------------------------------------------
+// Scenario V: overload behavior of the admission-controlled service tier
+// (goodput and per-class latency vs offered load)
+//
+// Open-loop Poisson arrivals of a short/long query mix are pushed through a
+// service.Gateway in front of the shared engine. The offered rate sweeps past
+// the system's calibrated closed-loop capacity. The service tier's promise is
+// graceful degradation: goodput holds near capacity while the excess arrivals
+// are shed with typed errors, and the short class's tail latency stays
+// bounded because short scans never queue behind full-table sweeps.
+
+// ScenarioVConfig parameterizes the offered-load axis.
+type ScenarioVConfig struct {
+	SF float64
+	// LoadMultipliers is the x-axis: offered arrival rate as a multiple of
+	// the calibrated closed-loop capacity (1.0 = at capacity).
+	LoadMultipliers []float64
+	// LongFrac is the probability an arrival draws the long (full-sweep)
+	// template instead of a short window.
+	LongFrac float64
+	// ShortSel is the short template's date-window selectivity in percent of
+	// the calendar; LongSel is the long template's (near-total coverage).
+	ShortSel int
+	LongSel  int
+	// Plans is the number of distinct short windows (randomized starts).
+	Plans int
+	// Calibration is the closed-loop window used to estimate capacity;
+	// Duration is the open-loop measurement window per multiplier.
+	Calibration time.Duration
+	Duration    time.Duration
+	// Gateway sizing (zero values take the service tier's defaults).
+	ShortSlots int
+	LongSlots  int
+	QueueDepth int
+	HighWater  int
+	Seed       int64
+	// Workers is the CJOIN probe parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c ScenarioVConfig) withDefaults() ScenarioVConfig {
+	if c.SF <= 0 {
+		c.SF = 0.01
+	}
+	if len(c.LoadMultipliers) == 0 {
+		c.LoadMultipliers = []float64{0.5, 1, 1.5, 2, 3}
+	}
+	if c.LongFrac <= 0 {
+		c.LongFrac = 0.2
+	}
+	if c.ShortSel <= 0 {
+		c.ShortSel = 2
+	}
+	if c.LongSel <= 0 {
+		c.LongSel = 95
+	}
+	if c.Plans <= 0 {
+		c.Plans = 16
+	}
+	if c.Calibration <= 0 {
+		c.Calibration = time.Second
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.ShortSlots <= 0 {
+		c.ShortSlots = 4
+	}
+	if c.LongSlots <= 0 {
+		c.LongSlots = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ScenarioVPoint is one offered-load point.
+type ScenarioVPoint struct {
+	Multiplier    float64
+	OfferedPerSec float64
+	Arrivals      int64
+	// Goodput is completed queries per second over the measurement window —
+	// the headline: it must hold near capacity as offered load passes it.
+	Goodput float64
+	// Per-class completion latencies (arrival to result, queue wait
+	// included) of the successful queries.
+	ShortP50 time.Duration
+	ShortP99 time.Duration
+	LongP50  time.Duration
+	LongP99  time.Duration
+	// Outcome partition: every arrival lands in exactly one bucket, and
+	// Untyped stays zero.
+	Completed     int64
+	ShedOverload  int64
+	ShedWouldMiss int64
+	FailedTyped   int64
+	Untyped       int64
+	// Wait-state accounting summed over the window (the /statsz split).
+	NsQueued  int64
+	NsSweep   int64
+	NsDeliver int64
+}
+
+// ScenarioVResult is the full offered-load axis.
+type ScenarioVResult struct {
+	Config ScenarioVConfig
+	// CapacityPerSec is the calibrated closed-loop completion rate the
+	// multipliers scale.
+	CapacityPerSec float64
+	Points         []ScenarioVPoint
+}
+
+// typedServiceError reports whether err is an admissible per-query outcome of
+// the service tier: an admission shed, a deadline/cancel, or one of the
+// engine's typed fault shapes.
+func typedServiceError(err error) bool {
+	return errors.Is(err, service.ErrOverloaded) ||
+		errors.Is(err, service.ErrWouldMiss) ||
+		typedFault(err)
+}
+
+// scenarioVSource draws one arrival's plan: long with probability LongFrac,
+// otherwise one of the short windows.
+type scenarioVSource struct {
+	shorts   []ssb.Instance
+	long     ssb.Instance
+	longFrac float64
+}
+
+func newScenarioVSource(db *ssb.DB, cfg ScenarioVConfig) scenarioVSource {
+	return scenarioVSource{
+		shorts:   ssb.DateWindowPool(db, cfg.ShortSel, cfg.Plans, cfg.Seed),
+		long:     ssb.DateWindow(db, cfg.LongSel, 0),
+		longFrac: cfg.LongFrac,
+	}
+}
+
+// draw returns the instance and whether it is the long template.
+func (s scenarioVSource) draw(r *rand.Rand) (ssb.Instance, bool) {
+	if r.Float64() < s.longFrac {
+		return s.long, true
+	}
+	return s.shorts[r.Intn(len(s.shorts))], false
+}
+
+// calibrate measures the closed-loop completion rate with exactly as many
+// clients as the gateway has slots — the capacity the offered load scales.
+func calibrate(ctx context.Context, e *engine.Engine, src scenarioVSource, clients int, dur time.Duration, seed int64) float64 {
+	var done atomic.Int64
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(i)*7919))
+			for time.Now().Before(deadline) {
+				in, _ := src.draw(r)
+				if _, err := e.Execute(ctx, in.Plan(true)); err == nil {
+					done.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(done.Load()) / elapsed
+}
+
+// quantile returns the q-quantile of the (unsorted) latency sample.
+func quantile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(q * float64(len(lat)))
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	return lat[idx]
+}
+
+// RunScenarioV sweeps open-loop Poisson offered load past capacity through a
+// fresh gateway per point. Expected shape: goodput rises with offered load
+// until capacity, then plateaus (shedding absorbs the excess) instead of
+// collapsing; the short class's p99 stays bounded at every multiplier.
+func RunScenarioV(ctx context.Context, cfg ScenarioVConfig) (*ScenarioVResult, error) {
+	cfg = cfg.withDefaults()
+	env, err := NewSSBEnvCfg(EnvConfig{SF: cfg.SF, Residency: MemoryResident,
+		Seed: cfg.Seed, Workers: cfg.Workers, DateClustered: true})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+
+	src := newScenarioVSource(env.SSB, cfg)
+	e := env.Engine(gqpNoSPConfig())
+
+	capacity := calibrate(ctx, e, src, cfg.ShortSlots+cfg.LongSlots, cfg.Calibration, cfg.Seed)
+	if capacity <= 0 {
+		capacity = 1
+	}
+	res := &ScenarioVResult{Config: cfg, CapacityPerSec: capacity}
+
+	for pi, mult := range cfg.LoadMultipliers {
+		// A fresh gateway per point resets counters and estimators so the
+		// point is self-contained.
+		gw := service.NewGateway(e, service.Config{
+			ShortSlots: cfg.ShortSlots, LongSlots: cfg.LongSlots,
+			QueueDepth: cfg.QueueDepth, HighWater: cfg.HighWater,
+			CJoin: env.CJoin, Pool: env.Cat.Pool(),
+		})
+
+		rate := mult * capacity // arrivals per second
+		r := rand.New(rand.NewSource(cfg.Seed + int64(pi)*104729))
+
+		var mu sync.Mutex
+		var shortLat, longLat []time.Duration
+		var completed, failedTyped, untyped, arrivals int64
+		var wg sync.WaitGroup
+
+		start := time.Now()
+		deadline := start.Add(cfg.Duration)
+		for time.Now().Before(deadline) {
+			// Exponential inter-arrival gap: open-loop Poisson process.
+			gap := time.Duration(r.ExpFloat64() / rate * float64(time.Second))
+			time.Sleep(gap)
+			in, isLong := src.draw(r)
+			arrivals++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				q0 := time.Now()
+				_, err := gw.Submit(ctx, in.Plan(true))
+				took := time.Since(q0)
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err == nil:
+					completed++
+					if isLong {
+						longLat = append(longLat, took)
+					} else {
+						shortLat = append(shortLat, took)
+					}
+				case errors.Is(err, service.ErrOverloaded) || errors.Is(err, service.ErrWouldMiss):
+					// Counted from the gateway's own stats below.
+				case typedFault(err):
+					failedTyped++
+				default:
+					untyped++
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		st := gw.Stats()
+		pt := ScenarioVPoint{
+			Multiplier:    mult,
+			OfferedPerSec: rate,
+			Arrivals:      arrivals,
+			Completed:     completed,
+			ShedOverload:  st.Short.ShedOverload + st.Long.ShedOverload,
+			ShedWouldMiss: st.Short.ShedWouldMiss + st.Long.ShedWouldMiss,
+			FailedTyped:   failedTyped,
+			Untyped:       untyped,
+			ShortP50:      quantile(shortLat, 0.50),
+			ShortP99:      quantile(shortLat, 0.99),
+			LongP50:       quantile(longLat, 0.50),
+			LongP99:       quantile(longLat, 0.99),
+			NsQueued:      st.Short.NsQueued + st.Long.NsQueued,
+			NsSweep:       st.Short.NsSweep + st.Long.NsSweep,
+			NsDeliver:     st.Short.NsDeliver + st.Long.NsDeliver,
+		}
+		if completed > 0 {
+			pt.Goodput = float64(completed) / elapsed.Seconds()
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
